@@ -1,0 +1,81 @@
+"""Ablation: the heredity principle for interaction candidates.
+
+GEF restricts candidate pairs to F' x F' (both features must be main
+effects).  This ablation quantifies the trade-off on the D'' task with
+injected pairs {(0,1), (0,4), (1,4)}: as |F'| shrinks, the candidate set
+collapses combinatorially — but true interactions whose features fall
+outside F' become *undiscoverable*.  With the full F' the restriction is
+free (every forest feature is a main effect here) and the ranking quality
+equals the unrestricted search.
+"""
+
+import numpy as np
+
+from repro.core import rank_interactions, select_univariate
+from repro.datasets import all_pairs
+from repro.metrics import average_precision
+from repro.viz import export_table
+
+from _report import artifact_path, header, report
+
+from conftest import TABLE2_PAIRS
+
+
+def _ap_of_ranking(ranked, truth):
+    candidates = [pair for pair, _ in ranked]
+    relevance = np.array([pair in truth for pair in candidates])
+    if not relevance.any():
+        return float("nan")
+    scores = np.array([score for _, score in ranked])
+    return average_precision(relevance, scores)
+
+
+def test_ablation_heredity(benchmark, d_double_prime_forest):
+    forest = d_double_prime_forest
+    truth = set(TABLE2_PAIRS)
+
+    def sweep():
+        rows = []
+        for n_features in (2, 3, 4, 5):
+            features = select_univariate(forest, n_features=n_features)
+            ranked = rank_interactions(forest, features, "gain-path")
+            surviving = truth & {pair for pair, _ in ranked}
+            ap = _ap_of_ranking(ranked, truth)
+            rows.append((n_features, features, len(ranked), len(surviving), ap))
+        return rows
+
+    rows = benchmark(sweep)
+
+    header("Ablation — heredity principle: candidate pairs from F' x F'")
+    report(f"true pairs: {sorted(truth)}")
+    report(f"{'|F_prime|':>9s} {'F_prime':>18s} {'candidates':>11s} "
+           f"{'true kept':>10s} {'AP':>7s}")
+    table = []
+    for n_features, features, n_cand, kept, ap in rows:
+        ap_str = f"{ap:.3f}" if ap == ap else "n/a"
+        report(f"{n_features:>9d} {str(features):>18s} {n_cand:>11d} "
+               f"{kept:>10d} {ap_str:>7s}")
+        table.append([n_features, str(features), n_cand, kept, ap_str])
+    export_table(
+        artifact_path("ablation_heredity.csv"),
+        ["n_features", "F_prime", "n_candidates", "true_pairs_kept", "ap"],
+        table,
+    )
+
+    by_n = {r[0]: r for r in rows}
+
+    # --- checks ---
+    # 1. The candidate set shrinks combinatorially with |F'|.
+    assert by_n[2][2] < by_n[3][2] < by_n[4][2] < by_n[5][2]
+    # 2. With the full F', heredity is free: all pairs are candidates and
+    #    every true pair is retained.
+    assert by_n[5][2] == len(all_pairs())
+    assert by_n[5][3] == len(truth)
+    # 3. The cost of aggressive truncation: some true pairs become
+    #    undiscoverable once their features leave F'.
+    assert by_n[2][3] < len(truth)
+    # 4. At full F' the ranking is informative.
+    assert by_n[5][4] > 0.4
+
+    benchmark.extra_info["survivors_by_n"] = {r[0]: r[3] for r in rows}
+    benchmark.extra_info["ap_full"] = by_n[5][4]

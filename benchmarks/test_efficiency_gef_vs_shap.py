@@ -1,0 +1,87 @@
+"""Section 5.3's efficiency claim: GEF vs. SHAP-as-a-global-explainer.
+
+"The computation of the SHAP values for a set of points depends on the
+size of the set under investigation, while with GEF the training time of
+the explanation only depends on the number of feature thresholds used by
+the forest."
+
+We time (i) one full GEF run and (ii) SHAP global aggregation for growing
+instance-set sizes, and verify the scaling asymmetry: SHAP's cost grows
+linearly with the number of explained instances while GEF's one-off cost
+is flat, so past a crossover GEF is cheaper — *and* GEF's output is
+already a global model, whereas SHAP needs its local values re-aggregated.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import GEF
+from repro.viz import export_series
+from repro.xai import ShapGlobalExplainer
+
+from _report import artifact_path, header, report
+
+SHAP_SIZES = (10, 20, 40, 80)
+
+
+def test_efficiency_gef_vs_shap(benchmark, superconductivity, superconductivity_shap_forest):
+    data = superconductivity
+    forest = superconductivity_shap_forest
+
+    gef = GEF(
+        n_univariate=7,
+        n_interactions=0,
+        sampling_strategy="equi-size",
+        k_points=400,
+        n_samples=15_000,
+        n_splines=12,
+        random_state=0,
+    )
+
+    start = time.perf_counter()
+    explanation = benchmark.pedantic(
+        lambda: gef.explain(forest), rounds=1, iterations=1
+    )
+    gef_seconds = time.perf_counter() - start
+
+    shap = ShapGlobalExplainer(forest)
+    shap_seconds = []
+    for size in SHAP_SIZES:
+        start = time.perf_counter()
+        shap.explain(data.X_test[:size])
+        shap_seconds.append(time.perf_counter() - start)
+
+    header("Section 5.3 — efficiency: GEF (one-off) vs SHAP global (per point)")
+    report(f"GEF full pipeline (D* size {gef.config.n_samples}): "
+           f"{gef_seconds:.2f} s  -> a complete global model "
+           f"(fidelity R2 = {explanation.fidelity['r2']:.3f})")
+    report(f"{'instances':>10s} {'SHAP seconds':>13s} {'sec/instance':>13s}")
+    for size, seconds in zip(SHAP_SIZES, shap_seconds):
+        report(f"{size:>10d} {seconds:>13.2f} {seconds / size:>13.4f}")
+    per_instance = shap_seconds[-1] / SHAP_SIZES[-1]
+    crossover = gef_seconds / per_instance
+    report(f"crossover: explaining more than ~{crossover:.0f} instances with "
+           f"SHAP costs more than the entire GEF pipeline")
+    export_series(
+        artifact_path("efficiency_gef_vs_shap.csv"),
+        {"instances": np.asarray(SHAP_SIZES, dtype=float),
+         "shap_seconds": np.asarray(shap_seconds),
+         "gef_seconds_total": np.full(len(SHAP_SIZES), gef_seconds)},
+    )
+
+    # --- reproduction checks ---
+    # 1. SHAP's cost grows roughly linearly with the instance count.
+    ratio = shap_seconds[-1] / max(shap_seconds[0], 1e-9)
+    size_ratio = SHAP_SIZES[-1] / SHAP_SIZES[0]
+    assert ratio > 0.4 * size_ratio, "SHAP cost did not scale with instances"
+    # 2. There is a finite crossover: a dataset size beyond which one GEF
+    #    run is cheaper than SHAP'ing every instance.
+    assert np.isfinite(crossover) and crossover > 0
+    assert crossover < len(data.X_train), (
+        "GEF should beat per-instance SHAP well before dataset size"
+    )
+
+    benchmark.extra_info["gef_seconds"] = gef_seconds
+    benchmark.extra_info["shap_sec_per_instance"] = per_instance
+    benchmark.extra_info["crossover_instances"] = crossover

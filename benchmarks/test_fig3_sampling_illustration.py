@@ -1,0 +1,73 @@
+"""Figure 3: the five sampling strategies on a sigmoid threshold pile-up.
+
+The paper illustrates how each strategy turns the thresholds of a forest
+fitted to ``y = sigma(50 (x - 0.5))`` into a sampling domain: density-aware
+strategies crowd the inflection region, Equi-Width ignores it.  We
+regenerate the KDE of the threshold distribution and the rug of each
+strategy's domain, and check the density-following / density-ignoring
+split quantitatively.
+"""
+
+import numpy as np
+
+from repro.core import build_domain, feature_thresholds
+from repro.datasets import sigmoid_1d
+from repro.forest import GradientBoostingRegressor
+from repro.metrics import gaussian_kde_1d
+from repro.viz import export_series, rug
+
+from _report import artifact_path, header, report
+
+K = 20
+STRATEGIES = ("all-thresholds", "k-quantile", "equi-width", "k-means", "equi-size")
+
+
+def _central_fraction(domain):
+    return float(np.mean((domain > 0.4) & (domain < 0.6)))
+
+
+def test_fig3_sampling_illustration(benchmark):
+    X, y = sigmoid_1d(n=4_000, seed=0)
+    forest = GradientBoostingRegressor(
+        n_estimators=60, num_leaves=16, learning_rate=0.1, random_state=0
+    )
+    forest.fit(X, y)
+    thresholds = feature_thresholds(forest)[0]
+
+    def build_all():
+        return {
+            s: build_domain(thresholds, s, k=K, random_state=0) for s in STRATEGIES
+        }
+
+    domains = benchmark(build_all)
+
+    grid = np.linspace(0, 1, 200)
+    density = gaussian_kde_1d(thresholds, grid)
+    export_series(
+        artifact_path("fig3_threshold_density.csv"), {"x": grid, "density": density}
+    )
+    for name, domain in domains.items():
+        export_series(
+            artifact_path(f"fig3_domain_{name}.csv"), {"point": domain}
+        )
+
+    header("Figure 3 — sampling strategies on the sigmoid threshold distribution")
+    report(f"thresholds: {len(thresholds)} total, "
+           f"{len(np.unique(thresholds))} distinct; K = {K}")
+    lo, hi = float(thresholds.min()), float(thresholds.max())
+    centrals = {}
+    for name, domain in domains.items():
+        centrals[name] = _central_fraction(domain)
+        report(rug(domain, lo, hi, width=72, label=name))
+        report(f"{'':>15s}({len(domain)} pts, "
+               f"{centrals[name]:.0%} inside [0.4, 0.6])")
+
+    # The threshold mass itself concentrates near the inflection point.
+    assert _central_fraction(thresholds) > 0.5
+
+    # Paper's reading of the figure: density-following strategies crowd the
+    # high-variability region, Equi-Width does not.
+    for follows in ("k-quantile", "k-means", "equi-size"):
+        assert centrals[follows] > centrals["equi-width"]
+
+    benchmark.extra_info["central_fraction"] = centrals

@@ -1,0 +1,88 @@
+"""Scaling claim: GEF's cost is governed by the forest's thresholds, not data.
+
+Section 5.3: "the training time of the explanation only depends on the
+number of feature thresholds used by the forest".  We grow forests of
+increasing size on the same task, hold every GEF knob fixed, and record
+(i) the number of thresholds, (ii) the explanation wall-time and (iii) the
+fidelity.  The cost curve must grow far slower than the threshold count —
+the sampling-domain size K and D* size N are capped, so only the
+threshold *extraction* scales with the forest.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import GEF, feature_thresholds
+from repro.datasets import make_d_prime
+from repro.forest import GradientBoostingRegressor
+from repro.viz import export_series
+
+from _report import artifact_path, header, report
+
+TREE_COUNTS = (25, 50, 100, 200, 400)
+
+
+def test_scaling_thresholds(benchmark):
+    data = make_d_prime(n=8_000, seed=0)
+
+    gef = GEF(
+        n_univariate=5,
+        sampling_strategy="equi-size",
+        k_points=200,
+        n_samples=15_000,
+        n_splines=16,
+        random_state=0,
+    )
+
+    threshold_counts = []
+    explain_seconds = []
+    fidelities = []
+
+    def sweep():
+        for n_trees in TREE_COUNTS:
+            forest = GradientBoostingRegressor(
+                n_estimators=n_trees,
+                num_leaves=32,
+                learning_rate=0.1,
+                random_state=0,
+            )
+            forest.fit(data.X_train, data.y_train)
+            n_thresholds = sum(len(v) for v in feature_thresholds(forest))
+            start = time.perf_counter()
+            explanation = gef.explain(forest)
+            elapsed = time.perf_counter() - start
+            threshold_counts.append(n_thresholds)
+            explain_seconds.append(elapsed)
+            fidelities.append(explanation.fidelity["r2"])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    header("Section 5.3 — GEF cost vs forest size (fixed K and N)")
+    report(f"{'trees':>6s} {'thresholds':>11s} {'explain s':>10s} {'R2 on D*':>9s}")
+    for n_trees, n_thr, secs, r2 in zip(
+        TREE_COUNTS, threshold_counts, explain_seconds, fidelities
+    ):
+        report(f"{n_trees:>6d} {n_thr:>11d} {secs:>10.2f} {r2:>9.3f}")
+    export_series(
+        artifact_path("scaling_thresholds.csv"),
+        {"trees": np.asarray(TREE_COUNTS, dtype=float),
+         "thresholds": np.asarray(threshold_counts, dtype=float),
+         "explain_seconds": np.asarray(explain_seconds),
+         "r2": np.asarray(fidelities)},
+    )
+
+    # --- checks ---
+    # 1. Thresholds grow ~linearly with the tree count (16x here)...
+    assert threshold_counts[-1] > 10 * threshold_counts[0]
+    # 2. ...but the explanation cost grows sub-linearly: K and N are
+    #    fixed, so GEF pays only for labelling D* with a bigger forest
+    #    and for the one-pass threshold extraction.
+    cost_ratio = explain_seconds[-1] / max(explain_seconds[0], 1e-9)
+    threshold_ratio = threshold_counts[-1] / threshold_counts[0]
+    assert cost_ratio < 0.75 * threshold_ratio
+    # 3. Fidelity stays high at every forest size.
+    assert min(fidelities) > 0.9
+
+    benchmark.extra_info["thresholds"] = threshold_counts
+    benchmark.extra_info["explain_seconds"] = explain_seconds

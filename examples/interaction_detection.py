@@ -1,0 +1,65 @@
+"""Interaction detection: ranking injected feature pairs four ways.
+
+Builds the paper's g'' target with a known set of three interaction pairs,
+trains a forest, and asks the four GEF heuristics (Pair-Gain, Count-Path,
+Gain-Path, H-Stat) to rank all ten candidate pairs.  Average Precision
+against the ground truth quantifies each heuristic, mirroring the
+Table 1 / Figure 6 methodology on a single realization.
+
+Run:  python examples/interaction_detection.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    build_sampling_domains,
+    generate_dataset,
+    rank_interactions,
+    select_univariate,
+)
+from repro.datasets import all_pairs, make_d_double_prime
+from repro.forest import GradientBoostingRegressor
+from repro.metrics import average_precision
+
+SEED = 0
+TRUE_PAIRS = [(0, 1), (0, 4), (1, 4)]  # the paper's Table 2 interaction set
+
+
+def main():
+    data = make_d_double_prime(TRUE_PAIRS, n=10_000, seed=SEED)
+    forest = GradientBoostingRegressor(
+        n_estimators=200, num_leaves=32, learning_rate=0.06, random_state=SEED
+    )
+    forest.fit(data.X_train, data.y_train)
+    print(f"forest trained on g'' with injected pairs {TRUE_PAIRS}")
+
+    features = select_univariate(forest)
+    candidates = all_pairs()
+    relevance = np.array([pair in TRUE_PAIRS for pair in candidates])
+
+    # H-Stat needs a sample of the synthetic dataset D*.
+    domains = build_sampling_domains(forest, "equi-size", k=150)
+    dataset = generate_dataset(forest, domains, 4_000, random_state=SEED)
+    sample = dataset.X_train[:80]
+
+    print(f"\n{'strategy':<12s} {'AP':>6s} {'time':>8s}   top-3 pairs")
+    for strategy in ("pair-gain", "count-path", "gain-path", "h-stat"):
+        start = time.perf_counter()
+        ranked = rank_interactions(forest, features, strategy, sample=sample)
+        elapsed = time.perf_counter() - start
+        scores = dict(ranked)
+        ap = average_precision(relevance, np.array([scores[p] for p in candidates]))
+        top3 = [pair for pair, _ in ranked[:3]]
+        print(f"{strategy:<12s} {ap:6.3f} {elapsed:7.2f}s   {top3}")
+
+    print(
+        "\nNote: Gain-Path reads only the forest structure (linear in the "
+        "number of trees),\nwhile H-Stat re-queries the forest "
+        "O(N |F'|^2) times — the paper's efficiency argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

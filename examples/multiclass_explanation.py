@@ -1,0 +1,71 @@
+"""Explaining a multiclass forest, one class score at a time.
+
+GEF makes no assumption on the forest beyond binary threshold tests, so a
+one-vs-rest multiclass model decomposes naturally: each class has its own
+binary forest, and each of those is explained independently.  This example
+builds a 3-class problem where each class occupies a band of one feature
+and shows that the per-class splines recover exactly those bands.
+
+Run:  python examples/multiclass_explanation.py
+"""
+
+import numpy as np
+
+from repro.core import GEF
+from repro.forest import OneVsRestGBDTClassifier
+from repro.viz import line_chart
+
+SEED = 0
+
+
+def make_bands(n=6_000, seed=SEED):
+    """Three classes in bands of x0, plus a nuisance rotation via x1."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, 3))
+    score = X[:, 0] + 0.15 * np.sin(4 * X[:, 1]) + rng.normal(0, 0.04, n)
+    y = np.digitize(score, [0.42, 0.75]).astype(float)
+    return X, y
+
+
+def main():
+    X, y = make_bands()
+    model = OneVsRestGBDTClassifier(
+        n_estimators=60, num_leaves=16, learning_rate=0.15, random_state=SEED
+    )
+    model.fit(X, y)
+    acc = np.mean(model.predict(X) == y)
+    print(f"3-class one-vs-rest model: train accuracy = {acc:.3f}")
+    print(f"class priors: "
+          + ", ".join(f"{c:g}: {np.mean(y == c):.2f}" for c in model.classes_))
+
+    gef = GEF(
+        n_univariate=2,
+        n_samples=10_000,
+        sampling_strategy="equi-size",
+        k_points=150,
+        n_splines=12,
+        random_state=SEED,
+    )
+    for label in model.classes_:
+        forest = model.forest_for_class(label)
+        explanation = gef.explain(forest)
+        curve = next(
+            c for c in explanation.global_explanation(n_points=60)
+            if c.features == (0,)
+        )
+        print()
+        print(line_chart(
+            curve.grid, curve.contribution, height=7,
+            title=f"class {label:g}: s(x0) on the log-odds of 'this class "
+                  f"vs rest' (fidelity R2 = {explanation.fidelity['r2']:.3f})",
+        ))
+
+    print(
+        "\nReading the curves: class 0 peaks at low x0, class 1 in the "
+        "middle band,\nclass 2 at high x0 — the per-class splines recover "
+        "the band structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Sampling strategies illustrated on a sigmoid, as in the paper's Figure 3.
+
+A forest fitted to a steep sigmoid concentrates its split thresholds around
+the inflection point (x = 0.5).  The five GEF strategies turn that
+threshold distribution into very different sampling domains — visualized
+here as rug plots over the threshold-density estimate.
+
+Run:  python examples/sampling_strategies.py
+"""
+
+import numpy as np
+
+from repro.core import build_domain, feature_thresholds
+from repro.datasets import sigmoid_1d
+from repro.forest import GradientBoostingRegressor
+from repro.metrics import gaussian_kde_1d
+from repro.viz import line_chart, rug
+
+SEED = 0
+K = 20  # domain size for the K-parameterized strategies
+
+
+def main():
+    X, y = sigmoid_1d(n=4_000, seed=SEED)
+    forest = GradientBoostingRegressor(
+        n_estimators=60, num_leaves=16, learning_rate=0.1, random_state=SEED
+    )
+    forest.fit(X, y)
+
+    thresholds = feature_thresholds(forest)[0]
+    print(f"forest uses {len(thresholds)} thresholds "
+          f"({len(np.unique(thresholds))} distinct) on the single feature")
+
+    grid = np.linspace(0, 1, 80)
+    density = gaussian_kde_1d(thresholds, grid)
+    print()
+    print(line_chart(grid, density, height=8,
+                     title="threshold density (KDE) — mass piles up at x = 0.5"))
+    print()
+
+    lo, hi = float(thresholds.min()), float(thresholds.max())
+    for strategy in (
+        "all-thresholds",
+        "k-quantile",
+        "equi-width",
+        "k-means",
+        "equi-size",
+    ):
+        domain = build_domain(thresholds, strategy, k=K, random_state=SEED)
+        print(rug(domain, lo, hi, width=72, label=strategy))
+        central = np.mean((domain > 0.4) & (domain < 0.6))
+        print(f"{'':>15s} ({len(domain)} points, "
+              f"{central:.0%} inside [0.4, 0.6])")
+
+    print(
+        "\nReading the rugs: K-Quantile, K-Means and Equi-Size follow the "
+        "threshold density\n(points crowd near 0.5); Equi-Width ignores it; "
+        "All-Thresholds keeps every midpoint."
+    )
+
+
+if __name__ == "__main__":
+    main()

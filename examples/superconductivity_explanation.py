@@ -1,0 +1,95 @@
+"""Superconductivity walk-through: GEF vs SHAP vs LIME on one prediction.
+
+Reproduces the paper's section 5 scenario: a regression forest predicting
+critical temperature from 81 material features, explained three ways —
+
+* globally by GEF's splines (with Bayesian credible intervals);
+* locally by GEF (contribution + the what-if window around the instance);
+* locally by TreeSHAP (point-wise attributions);
+* locally by LIME (local ridge coefficients).
+
+Run:  python examples/superconductivity_explanation.py
+"""
+
+import numpy as np
+
+from repro.core import GEF
+from repro.datasets import load_superconductivity
+from repro.forest import GradientBoostingRegressor
+from repro.metrics import r2_score, rmse
+from repro.viz import bar_chart, line_chart
+from repro.xai import LimeTabularExplainer, TreeShapExplainer
+
+SEED = 0
+
+
+def main():
+    data = load_superconductivity(n=8_000, seed=SEED)
+    forest = GradientBoostingRegressor(
+        n_estimators=120, num_leaves=48, learning_rate=0.1, random_state=SEED
+    )
+    forest.fit(data.X_train, data.y_train)
+    test_rmse = rmse(data.y_test, forest.predict(data.X_test))
+    print(f"forest test RMSE = {test_rmse:.2f} K "
+          f"(paper reports 11.7 on the real dataset)")
+
+    # The paper settles on 7 splines, 0 interactions, Equi-Size, K=4500;
+    # our simulated dataset is smaller, so K scales down accordingly.
+    gef = GEF(
+        n_univariate=7,
+        n_interactions=0,
+        sampling_strategy="equi-size",
+        k_points=400,
+        n_samples=30_000,
+        n_splines=12,
+        random_state=SEED,
+    )
+    explanation = gef.explain(forest, feature_names=data.feature_names)
+    print()
+    print(explanation.summary())
+    r2 = r2_score(forest.predict(data.X_test), explanation.predict(data.X_test))
+    print(f"fidelity on original test data: R2 = {r2:.3f}")
+
+    print("\n=== GEF global explanation: top splines ===")
+    for curve in explanation.global_explanation(n_points=60)[:4]:
+        print()
+        print(line_chart(curve.grid, curve.contribution, height=8,
+                         title=curve.label))
+
+    # ------------------------------------------------------------------
+    # Local explanations of the same sample, three ways.
+    # ------------------------------------------------------------------
+    x = data.X_test[7]
+    print("\n=== GEF local explanation ===")
+    local = explanation.local_explanation(x)
+    for contrib in local.contributions:
+        print(f"  {contrib.label:<36s} value={contrib.value[0]:9.3f} "
+              f"contribution={contrib.contribution:+8.3f}")
+        if contrib.window_grid is not None:
+            window_span = (contrib.window_contribution.max()
+                           - contrib.window_contribution.min())
+            print(f"    what-if window: a small change can move the "
+                  f"prediction by up to {window_span:.2f} K")
+    print(f"  GAM prediction {local.prediction:.2f} K, "
+          f"forest {forest.predict(x[None, :])[0]:.2f} K")
+
+    print("\n=== SHAP local explanation (top 6 |phi|) ===")
+    shap = TreeShapExplainer(forest)
+    result = shap.explain(x)
+    top = result["ranking"][:6]
+    labels = [data.feature_names[i] for i in top]
+    print(bar_chart(labels, result["shap_values"][top]))
+    print(f"  E[f(X)] = {result['base_value']:.2f}, "
+          f"prediction = {result['prediction']:.2f}")
+
+    print("\n=== LIME local explanation (top 6 |coef|) ===")
+    lime = LimeTabularExplainer(data.X_train, random_state=SEED)
+    lime_exp = lime.explain_instance(x, forest.predict, num_samples=3000)
+    pairs = lime_exp.as_list(top_k=6)
+    print(bar_chart([data.feature_names[f] for f, _ in pairs],
+                    np.array([c for _, c in pairs])))
+    print(f"  surrogate R2 on perturbations = {lime_exp.score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

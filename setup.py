@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(the sandbox lacks the `wheel` package required by PEP 517 editable builds).
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

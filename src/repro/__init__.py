@@ -1,0 +1,32 @@
+"""repro — full reproduction of "GAM Forest Explanation" (EDBT 2023).
+
+GEF (GAM-based Explanation of Forests) builds a Generalized Additive Model
+surrogate of a decision-tree forest using *only* the forest's structure —
+no training data required.  This package implements GEF itself plus every
+substrate the paper's evaluation relies on:
+
+* :mod:`repro.core` — the GEF pipeline (feature selection, threshold
+  sampling, interaction detection, GAM fitting);
+* :mod:`repro.forest` — histogram GBDTs and random forests (LightGBM
+  stand-in);
+* :mod:`repro.gam` — penalized B-spline GAMs (PyGAM stand-in);
+* :mod:`repro.xai` — TreeSHAP, LIME, partial dependence, H-statistic;
+* :mod:`repro.datasets` — the paper's synthetic functions and simulators
+  of the Superconductivity and Census datasets;
+* :mod:`repro.cluster`, :mod:`repro.metrics`, :mod:`repro.viz` — k-means,
+  evaluation metrics and text-mode figure rendering.
+
+Quickstart
+----------
+>>> from repro.forest import GradientBoostingRegressor
+>>> from repro.core import GEF
+>>> forest = GradientBoostingRegressor().fit(X, y)        # doctest: +SKIP
+>>> explanation = GEF(n_univariate=5).explain(forest)     # doctest: +SKIP
+>>> print(explanation.summary())                          # doctest: +SKIP
+"""
+
+from .core import GEF, GEFConfig, GEFExplanation
+
+__version__ = "1.0.0"
+
+__all__ = ["GEF", "GEFConfig", "GEFExplanation", "__version__"]

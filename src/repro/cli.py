@@ -1,0 +1,211 @@
+"""Command-line interface: train, inspect and explain forests.
+
+Usage::
+
+    python -m repro train --dataset d-prime --out forest.json
+    python -m repro inspect forest.json
+    python -m repro explain forest.json --splines 5 --report report.txt
+
+The ``train`` command exists so the whole hand-off scenario is scriptable:
+one party trains on a built-in dataset and ships the JSON; another party
+(with no access to anything else) runs ``explain`` on the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = ("d-prime", "d-double-prime", "superconductivity", "census")
+
+
+def _load_dataset(name: str, seed: int):
+    """Returns (X_train, y_train, X_test, y_test, feature_names, is_clf)."""
+    if name == "d-prime":
+        from .datasets import make_d_prime
+
+        data = make_d_prime(seed=seed)
+        return data.X_train, data.y_train, data.X_test, data.y_test, None, False
+    if name == "d-double-prime":
+        from .datasets import make_d_double_prime
+
+        data = make_d_double_prime([(0, 1), (0, 4), (1, 4)], seed=seed)
+        return data.X_train, data.y_train, data.X_test, data.y_test, None, False
+    if name == "superconductivity":
+        from .datasets import load_superconductivity
+
+        data = load_superconductivity(n=8_000, seed=seed)
+        return (data.X_train, data.y_train, data.X_test, data.y_test,
+                data.feature_names, False)
+    if name == "census":
+        from .datasets import load_census
+
+        data = load_census(n=12_000, seed=seed)
+        return (data.X_train, data.y_train, data.X_test, data.y_test,
+                data.feature_names, True)
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def _cmd_train(args) -> int:
+    from .forest import (
+        GradientBoostingClassifier,
+        GradientBoostingRegressor,
+        save_forest,
+    )
+    from .metrics import accuracy, r2_score
+
+    X_train, y_train, X_test, y_test, _, is_clf = _load_dataset(
+        args.dataset, args.seed
+    )
+    model_cls = GradientBoostingClassifier if is_clf else GradientBoostingRegressor
+    model = model_cls(
+        n_estimators=args.trees,
+        num_leaves=args.leaves,
+        learning_rate=args.learning_rate,
+        random_state=args.seed,
+    )
+    model.fit(X_train, y_train)
+    if is_clf:
+        score = accuracy(y_test, model.predict(X_test))
+        print(f"trained {model.n_trees_} trees; test accuracy = {score:.4f}")
+    else:
+        score = r2_score(y_test, model.predict(X_test))
+        print(f"trained {model.n_trees_} trees; test R2 = {score:.4f}")
+    save_forest(model, args.out)
+    print(f"model structure written to {args.out}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .forest import forest_summary, load_forest
+
+    forest = load_forest(args.model)
+    print(forest_summary(forest))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .core import GEF, explanation_report, save_explanation
+    from .forest import load_forest
+
+    forest = load_forest(args.model)
+    gef = GEF(
+        n_univariate=args.splines,
+        n_interactions=args.interactions,
+        sampling_strategy=args.strategy,
+        k_points=args.k,
+        n_samples=args.samples,
+        random_state=args.seed,
+    )
+    explanation = gef.explain(forest, verbose=args.verbose)
+    instance = None
+    if args.instance:
+        instance = np.asarray(
+            [float(v) for v in args.instance.split(",")], dtype=np.float64
+        )
+        if len(instance) != forest.n_features_:
+            print(
+                f"error: instance has {len(instance)} values, the forest "
+                f"expects {forest.n_features_}",
+                file=sys.stderr,
+            )
+            return 2
+    report = explanation_report(
+        explanation, instance=instance, top_components=args.top
+    )
+    if args.save:
+        save_explanation(explanation, args.save)
+        print(f"explanation archive written to {args.save}")
+    if args.report:
+        Path(args.report).write_text(report)
+        print(f"fidelity R2 on D* = {explanation.fidelity['r2']:.4f}; "
+              f"report written to {args.report}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .core import explanation_report, load_explanation
+
+    explanation = load_explanation(args.explanation)
+    instance = None
+    if args.instance:
+        instance = np.asarray(
+            [float(v) for v in args.instance.split(",")], dtype=np.float64
+        )
+    print(explanation_report(explanation, instance=instance, top_components=args.top))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GEF: data-free GAM explanations of tree forests",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a forest on a built-in dataset")
+    train.add_argument("--dataset", choices=_DATASETS, required=True)
+    train.add_argument("--out", required=True, help="output model JSON path")
+    train.add_argument("--trees", type=int, default=150)
+    train.add_argument("--leaves", type=int, default=32)
+    train.add_argument("--learning-rate", type=float, default=0.07)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=_cmd_train)
+
+    inspect = sub.add_parser("inspect", help="print a forest's structure summary")
+    inspect.add_argument("model", help="model JSON path")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    explain = sub.add_parser("explain", help="run GEF on a forest JSON")
+    explain.add_argument("model", help="model JSON path")
+    explain.add_argument("--splines", type=int, default=5,
+                         help="|F'|: number of univariate components")
+    explain.add_argument("--interactions", type=int, default=0,
+                         help="|F''|: number of bi-variate components")
+    explain.add_argument("--strategy", default="equi-size",
+                         choices=("all-thresholds", "k-quantile", "equi-width",
+                                  "k-means", "equi-size"))
+    explain.add_argument("--k", type=int, default=200,
+                         help="K: sampling-domain size per feature")
+    explain.add_argument("--samples", type=int, default=20_000,
+                         help="N: size of the synthetic dataset D*")
+    explain.add_argument("--instance", default=None,
+                         help="comma-separated feature values for a local view")
+    explain.add_argument("--top", type=int, default=None,
+                         help="limit the global section to the top components")
+    explain.add_argument("--report", default=None,
+                         help="write the report to this file instead of stdout")
+    explain.add_argument("--save", default=None,
+                         help="archive the fitted explanation to this JSON path")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--verbose", action="store_true")
+    explain.set_defaults(func=_cmd_explain)
+
+    report = sub.add_parser(
+        "report", help="render a report from a saved explanation archive"
+    )
+    report.add_argument("explanation", help="explanation JSON path")
+    report.add_argument("--instance", default=None,
+                        help="comma-separated feature values for a local view")
+    report.add_argument("--top", type=int, default=None)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

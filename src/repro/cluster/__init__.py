@@ -1,0 +1,5 @@
+"""Clustering substrate (scikit-learn KMeans stand-in)."""
+
+from .kmeans import KMeans, kmeans_1d_centroids
+
+__all__ = ["KMeans", "kmeans_1d_centroids"]

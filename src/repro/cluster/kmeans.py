@@ -1,0 +1,120 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Replaces scikit-learn's ``KMeans`` for the reproduction.  GEF's *K-Means*
+sampling strategy clusters the (one-dimensional) set of split thresholds of
+a feature and uses the centroids as the sampling domain, so a 1-D
+convenience wrapper is provided alongside the general implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans", "kmeans_1d_centroids"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization and restarts."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 5,
+        max_iter: int = 100,
+        tol: float = 1e-8,
+        random_state: int | None = None,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster the rows of ``X``; keeps the best of ``n_init`` runs."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"n_samples={X.shape[0]} < n_clusters={self.n_clusters}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._single_run(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def _single_run(self, X: np.ndarray, rng: np.random.Generator):
+        centers = self._kmeanspp_init(X, rng)
+        labels = np.zeros(len(X), dtype=np.int64)
+        inertia = np.inf
+        for _ in range(self.max_iter):
+            d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = np.argmin(d2, axis=1)
+            new_inertia = float(d2[np.arange(len(X)), labels].sum())
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the worst-served point.
+                    worst = int(np.argmax(d2[np.arange(len(X)), labels]))
+                    new_centers[k] = X[worst]
+            if inertia - new_inertia < self.tol * max(inertia, 1.0):
+                centers = new_centers
+                inertia = new_inertia
+                break
+            centers = new_centers
+            inertia = new_inertia
+        return centers, labels, inertia
+
+    def _kmeanspp_init(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = len(X)
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        d2 = ((X - centers[0]) ** 2).sum(axis=1)
+        for k in range(1, self.n_clusters):
+            total = d2.sum()
+            if total <= 0:
+                centers[k:] = X[rng.integers(n, size=self.n_clusters - k)]
+                break
+            probs = d2 / total
+            centers[k] = X[rng.choice(n, p=probs)]
+            d2 = np.minimum(d2, ((X - centers[k]) ** 2).sum(axis=1))
+        return centers
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid label for each row of ``X``."""
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        d2 = ((X[:, None, :] - self.cluster_centers_[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d2, axis=1)
+
+
+def kmeans_1d_centroids(
+    values: np.ndarray, k: int, random_state: int | None = None
+) -> np.ndarray:
+    """Sorted centroids of a 1-D k-means over ``values``.
+
+    Used by GEF's *K-Means* sampling strategy.  If there are fewer distinct
+    values than requested clusters, ``k`` shrinks to the number of distinct
+    values (the paper's ``k = min(|V_i|, K)`` rule).
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot cluster an empty value set")
+    distinct = np.unique(values)
+    k = min(k, len(distinct))
+    if k == len(distinct):
+        return distinct
+    km = KMeans(n_clusters=k, random_state=random_state).fit(values[:, None])
+    return np.sort(km.cluster_centers_.ravel())

@@ -1,0 +1,89 @@
+"""Quantitative consistency between GEF and SHAP global explanations.
+
+Section 5.3 of the paper argues the two views are "consistent with each
+other": per feature, GEF's spline and SHAP's dependence scatter trend the
+same way.  These helpers turn that visual claim into numbers — the
+per-feature Pearson correlation between the GEF contribution and the SHAP
+values at the same instances, plus rank agreement of the two importance
+orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..xai.shap_global import ShapGlobalExplanation
+from .explanation import GEFExplanation
+
+__all__ = ["ConsistencyReport", "compare_with_shap"]
+
+
+@dataclass
+class ConsistencyReport:
+    """GEF-vs-SHAP agreement on a common set of instances."""
+
+    per_feature_correlation: dict[int, float]
+    importance_rank_overlap: float  # |top-k intersection| / k
+    top_k: int
+
+    def mean_correlation(self) -> float:
+        """Average trend agreement over the compared features."""
+        values = list(self.per_feature_correlation.values())
+        return float(np.mean(values)) if values else 0.0
+
+    def summary(self, feature_names: list[str] | None = None) -> str:
+        """One line per compared feature, plus the aggregates."""
+
+        def name(f: int) -> str:
+            return feature_names[f] if feature_names else f"x{f}"
+
+        lines = ["GEF vs SHAP consistency:"]
+        for feature, corr in sorted(
+            self.per_feature_correlation.items(), key=lambda kv: -abs(kv[1])
+        ):
+            lines.append(f"  {name(feature):<28s} trend corr = {corr:+.3f}")
+        lines.append(f"  mean trend correlation: {self.mean_correlation():+.3f}")
+        lines.append(
+            f"  top-{self.top_k} importance overlap: "
+            f"{self.importance_rank_overlap:.0%}"
+        )
+        return "\n".join(lines)
+
+
+def compare_with_shap(
+    explanation: GEFExplanation,
+    shap_global: ShapGlobalExplanation,
+    top_k: int | None = None,
+) -> ConsistencyReport:
+    """Measure agreement between a GEF explanation and aggregated SHAP.
+
+    Both explanations must describe the same forest; the SHAP side fixes
+    the instance set.  Only GEF's univariate components are compared
+    (tensor terms have no single-feature SHAP counterpart).
+    """
+    X = shap_global.X
+    correlations: dict[int, float] = {}
+    for idx, term in enumerate(explanation.gam.terms):
+        if len(term.features) != 1:
+            continue
+        feature = term.features[0]
+        gef_at_x = explanation.gam.partial_dependence(idx, X[:, feature])
+        phi = shap_global.shap_values[:, feature]
+        if np.std(gef_at_x) == 0 or np.std(phi) == 0:
+            correlations[feature] = 0.0
+        else:
+            correlations[feature] = float(np.corrcoef(gef_at_x, phi)[0, 1])
+
+    if top_k is None:
+        top_k = max(1, len(explanation.features))
+    gef_top = set(explanation.features[:top_k])
+    shap_top = set(int(f) for f in shap_global.ranking()[:top_k])
+    overlap = len(gef_top & shap_top) / top_k
+
+    return ConsistencyReport(
+        per_feature_correlation=correlations,
+        importance_rank_overlap=overlap,
+        top_k=top_k,
+    )

@@ -1,0 +1,118 @@
+"""Configuration of the GEF explanation pipeline.
+
+The paper leaves three choices to the analyst — the number of univariate
+components |F'|, the number of bi-variate components |F''| and the
+sampling strategy with its budget K — and fixes the rest (third-order
+splines with a fixed basis size, factor terms for categoricals detected by
+the L-threshold heuristic, shared lambda chosen by GCV).  All of that is
+collected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GEFConfig", "SAMPLING_STRATEGY_NAMES", "INTERACTION_STRATEGY_NAMES"]
+
+SAMPLING_STRATEGY_NAMES = (
+    "all-thresholds",
+    "k-quantile",
+    "equi-width",
+    "k-means",
+    "equi-size",
+)
+
+INTERACTION_STRATEGY_NAMES = ("pair-gain", "count-path", "gain-path", "h-stat")
+
+
+@dataclass
+class GEFConfig:
+    """All knobs of a GEF run.
+
+    Attributes
+    ----------
+    n_univariate:
+        |F'| — number of univariate components; ``None`` keeps every
+        feature the forest uses.
+    n_interactions:
+        |F''| — number of bi-variate (tensor) components.
+    sampling_strategy:
+        One of :data:`SAMPLING_STRATEGY_NAMES` (section 3.3).
+    k_points:
+        K — sampling-domain size per feature (ignored by All-Thresholds,
+        which uses every midpoint).
+    n_samples:
+        N — number of instances of the synthetic dataset D*.
+    interaction_strategy:
+        One of :data:`INTERACTION_STRATEGY_NAMES` (section 3.4).
+    categorical_threshold:
+        L — features with fewer distinct forest thresholds than this are
+        modeled with factor terms (the paper uses L = 10).
+    epsilon_fraction:
+        Domain extension beyond the extreme thresholds, as a fraction of
+        the threshold range (the paper uses 0.05).
+    n_splines / tensor_splines:
+        P-spline basis sizes for univariate and tensor terms.
+    component_type:
+        ``"spline"`` (the paper's GAM) or ``"linear"`` — one coefficient
+        per continuous feature, turning the surrogate into the GLM the
+        paper's section 3.1 discusses as the more interpretable but less
+        flexible alternative.
+    lam_grid:
+        Shared-lambda candidates for GCV (``None`` uses the default grid).
+    test_fraction:
+        Share of D* held out to measure the surrogate's fidelity.
+    hstat_sample:
+        Sample size for the partial-dependence estimates of H-Stat.
+    label:
+        What the forest labels D* with: ``"auto"`` (raw score for
+        regressors, probability for classifiers), ``"raw"`` or
+        ``"probability"``.
+    """
+
+    n_univariate: int | None = None
+    n_interactions: int = 0
+    sampling_strategy: str = "equi-size"
+    k_points: int = 64
+    n_samples: int = 100_000
+    interaction_strategy: str = "gain-path"
+    categorical_threshold: int = 10
+    epsilon_fraction: float = 0.05
+    n_splines: int = 20
+    tensor_splines: int = 7
+    component_type: str = "spline"
+    lam_grid: np.ndarray | None = field(default=None, repr=False)
+    test_fraction: float = 0.2
+    hstat_sample: int = 100
+    label: str = "auto"
+    random_state: int | None = 0
+
+    def __post_init__(self):
+        if self.sampling_strategy not in SAMPLING_STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown sampling strategy {self.sampling_strategy!r}; "
+                f"choose from {SAMPLING_STRATEGY_NAMES}"
+            )
+        if self.interaction_strategy not in INTERACTION_STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown interaction strategy {self.interaction_strategy!r}; "
+                f"choose from {INTERACTION_STRATEGY_NAMES}"
+            )
+        if self.n_univariate is not None and self.n_univariate < 1:
+            raise ValueError("n_univariate must be >= 1 (or None for all)")
+        if self.n_interactions < 0:
+            raise ValueError("n_interactions must be >= 0")
+        if self.k_points < 2:
+            raise ValueError("k_points must be >= 2")
+        if self.n_samples < 10:
+            raise ValueError("n_samples must be >= 10")
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        if not 0.0 <= self.epsilon_fraction <= 1.0:
+            raise ValueError("epsilon_fraction must be in [0, 1]")
+        if self.label not in ("auto", "raw", "probability"):
+            raise ValueError("label must be 'auto', 'raw' or 'probability'")
+        if self.component_type not in ("spline", "linear"):
+            raise ValueError("component_type must be 'spline' or 'linear'")

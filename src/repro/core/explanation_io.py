@@ -1,0 +1,92 @@
+"""Persistence for GEF explanations (save once, explain forever).
+
+An explanation archive contains the fitted GAM (with everything needed
+for predictions, partial dependence and credible intervals), the selected
+components, the sampling domains, the configuration, the fidelity scores
+and a capped sample of D* — enough to restore every method of
+:class:`~repro.core.explanation.GEFExplanation`, without shipping the full
+synthetic dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..gam.serialization import gam_from_dict, gam_to_dict
+from .config import GEFConfig
+from .dataset import ExplanationDataset
+from .explanation import GEFExplanation
+
+__all__ = ["explanation_to_dict", "explanation_from_dict",
+           "save_explanation", "load_explanation"]
+
+#: Row caps for the embedded D* sample (keeps archives small).
+_TRAIN_SAMPLE_ROWS = 2048
+_TEST_SAMPLE_ROWS = 1024
+
+
+def explanation_to_dict(explanation: GEFExplanation) -> dict:
+    """Serialize an explanation (with a capped D* sample) to a dict."""
+    dataset = explanation.dataset
+    config = dataclasses.asdict(explanation.config)
+    if config.get("lam_grid") is not None:
+        config["lam_grid"] = np.asarray(config["lam_grid"]).tolist()
+    return {
+        "gam": gam_to_dict(explanation.gam),
+        "features": list(map(int, explanation.features)),
+        "pairs": [list(map(int, p)) for p in explanation.pairs],
+        "feature_names": explanation.feature_names,
+        "fidelity": dict(explanation.fidelity),
+        "config": config,
+        "domains": {
+            str(f): d.tolist() for f, d in dataset.domains.items()
+        },
+        "X_train_sample": dataset.X_train[:_TRAIN_SAMPLE_ROWS].tolist(),
+        "X_test_sample": dataset.X_test[:_TEST_SAMPLE_ROWS].tolist(),
+        "y_train_sample": dataset.y_train[:_TRAIN_SAMPLE_ROWS].tolist(),
+        "y_test_sample": dataset.y_test[:_TEST_SAMPLE_ROWS].tolist(),
+    }
+
+
+def explanation_from_dict(data: dict) -> GEFExplanation:
+    """Rebuild a fully functional explanation from its archive dict."""
+    config_data = dict(data["config"])
+    if config_data.get("lam_grid") is not None:
+        config_data["lam_grid"] = np.asarray(config_data["lam_grid"])
+    dataset = ExplanationDataset(
+        X_train=np.asarray(data["X_train_sample"], dtype=np.float64),
+        y_train=np.asarray(data["y_train_sample"], dtype=np.float64),
+        X_test=np.asarray(data["X_test_sample"], dtype=np.float64),
+        y_test=np.asarray(data["y_test_sample"], dtype=np.float64),
+        domains={
+            int(f): np.asarray(d, dtype=np.float64)
+            for f, d in data["domains"].items()
+        },
+    )
+    return GEFExplanation(
+        gam=gam_from_dict(data["gam"]),
+        features=[int(f) for f in data["features"]],
+        pairs=[tuple(int(v) for v in p) for p in data["pairs"]],
+        dataset=dataset,
+        config=GEFConfig(**config_data),
+        feature_names=data["feature_names"],
+        fidelity=dict(data["fidelity"]),
+    )
+
+
+def save_explanation(explanation: GEFExplanation, path: str | Path) -> None:
+    """Write an explanation archive as JSON."""
+    path = Path(path)
+    with path.open("w") as f:
+        json.dump(explanation_to_dict(explanation), f)
+
+
+def load_explanation(path: str | Path) -> GEFExplanation:
+    """Read an explanation archive written by :func:`save_explanation`."""
+    path = Path(path)
+    with path.open() as f:
+        return explanation_from_dict(json.load(f))

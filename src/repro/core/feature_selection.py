@@ -1,0 +1,92 @@
+"""Univariate component selection (paper section 3.2).
+
+The most important features are found by accumulating, per feature, the
+loss reduction recorded at every forest node where the feature is tested —
+the statistic "most forest training libraries store".  F' is the top of
+that ranking, its size chosen by the analyst.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "forest_feature_gains",
+    "forest_split_counts",
+    "select_univariate",
+    "feature_thresholds",
+]
+
+
+def _check_forest(forest) -> None:
+    if not getattr(forest, "trees_", None):
+        raise ValueError("forest is not fitted (empty trees_)")
+    if getattr(forest, "n_features_", None) is None:
+        raise ValueError("forest does not report n_features_")
+
+
+def forest_feature_gains(forest) -> np.ndarray:
+    """Accumulated split gain per feature across the whole forest."""
+    _check_forest(forest)
+    gains = np.zeros(int(forest.n_features_))
+    for tree in forest.trees_:
+        gains += tree.feature_gains(len(gains))
+    return gains
+
+
+def forest_split_counts(forest) -> np.ndarray:
+    """Number of splits per feature across the whole forest.
+
+    The fallback importance for forests whose serialization stripped the
+    per-node gains: split frequency still ranks the load-bearing features.
+    """
+    _check_forest(forest)
+    counts = np.zeros(int(forest.n_features_))
+    for tree in forest.trees_:
+        for node in tree.internal_nodes():
+            counts[tree.feature[node]] += 1
+    return counts
+
+
+def select_univariate(
+    forest, n_features: int | None = None, importance: str = "gain"
+) -> list[int]:
+    """F': feature indices ranked by importance, best first.
+
+    ``importance`` is ``"gain"`` (the paper's accumulated loss reduction)
+    or ``"split"`` (split counts, for gain-less forest dumps).  Only
+    features actually used by the forest qualify; ``n_features=None``
+    keeps all of them (the naive strategy F).
+    """
+    if importance == "gain":
+        gains = forest_feature_gains(forest)
+    elif importance == "split":
+        gains = forest_split_counts(forest)
+    else:
+        raise ValueError("importance must be 'gain' or 'split'")
+    used = np.nonzero(gains > 0.0)[0]
+    if used.size == 0:
+        raise ValueError("the forest contains no splits; nothing to explain")
+    ranked = used[np.argsort(-gains[used], kind="stable")]
+    if n_features is not None:
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        ranked = ranked[:n_features]
+    return [int(f) for f in ranked]
+
+
+def feature_thresholds(forest) -> list[np.ndarray]:
+    """V_i per feature: the sorted thresholds occurring in the forest.
+
+    Thresholds are kept *with multiplicity*: density-driven sampling
+    strategies (K-Quantile, K-Means, Equi-Size) rely on how often the
+    forest splits in a region, not just on where.
+    """
+    _check_forest(forest)
+    n_features = int(forest.n_features_)
+    per_feature: list[list[float]] = [[] for _ in range(n_features)]
+    for tree in forest.trees_:
+        for feature, values in enumerate(tree.split_thresholds(n_features)):
+            if values.size:
+                per_feature[feature].extend(values.tolist())
+    return [np.sort(np.asarray(v, dtype=np.float64)) for v in per_feature]

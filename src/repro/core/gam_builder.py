@@ -1,0 +1,78 @@
+"""Construction of the explanation GAM's terms (paper section 3.5).
+
+For every selected feature GEF adds a third-order P-spline term with a
+fixed basis size — unless the feature looks categorical, in which case a
+factor term is used instead.  Since a forest does not record feature
+types, categoricalness is inferred heuristically: a feature whose forest
+threshold list has fewer than L distinct values (L = 10 in the paper) is
+treated as categorical.  Each selected pair gets a penalized tensor term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gam import GAM, FactorTerm, LinearTerm, SplineTerm, TensorTerm
+from .config import GEFConfig
+
+__all__ = ["is_categorical", "build_terms", "build_gam"]
+
+
+def is_categorical(thresholds: np.ndarray, categorical_threshold: int = 10) -> bool:
+    """The paper's heuristic: fewer than L distinct thresholds => factor."""
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    return len(np.unique(thresholds)) < categorical_threshold
+
+
+def build_terms(
+    features: list[int],
+    pairs: list[tuple[int, int]],
+    thresholds: list[np.ndarray],
+    config: GEFConfig,
+    feature_names: list[str] | None = None,
+) -> list:
+    """Terms for F' (splines/factors) and F'' (tensors), in that order."""
+
+    def name_of(f: int) -> str:
+        return feature_names[f] if feature_names else f"x{f}"
+
+    terms = []
+    for f in features:
+        if is_categorical(thresholds[f], config.categorical_threshold):
+            terms.append(FactorTerm(f, name=f"f({name_of(f)})"))
+        elif config.component_type == "linear":
+            terms.append(LinearTerm(f, name=f"l({name_of(f)})"))
+        else:
+            terms.append(
+                SplineTerm(f, n_splines=config.n_splines, name=f"s({name_of(f)})")
+            )
+    for i, j in pairs:
+        terms.append(
+            TensorTerm(
+                i,
+                j,
+                n_splines=config.tensor_splines,
+                name=f"te({name_of(i)},{name_of(j)})",
+            )
+        )
+    return terms
+
+
+def build_gam(
+    features: list[int],
+    pairs: list[tuple[int, int]],
+    thresholds: list[np.ndarray],
+    config: GEFConfig,
+    is_classifier: bool,
+    feature_names: list[str] | None = None,
+) -> GAM:
+    """The (unfitted) explanation GAM with the paper's link conventions.
+
+    Regression forests get an identity link with a normal response;
+    classification forests a logistic link with a binomial response.
+    """
+    if not features:
+        raise ValueError("F' is empty; nothing to build a GAM from")
+    terms = build_terms(features, pairs, thresholds, config, feature_names)
+    link = "logit" if is_classifier and config.label != "raw" else "identity"
+    return GAM(terms, link=link)

@@ -1,0 +1,179 @@
+"""Bi-variate component selection: the four heuristics of section 3.4.
+
+Candidate pairs follow the heredity principle — both features must already
+be main effects in F' — and are ranked by an interaction importance
+I(f_i, f_j) computed one of four ways:
+
+* **Pair-Gain** — the sum of the two univariate gain importances (the
+  cheap baseline; blind to actual co-occurrence);
+* **Count-Path** — the number of ancestor/descendant split-node pairs
+  testing the two features on a common decision path, over all trees;
+* **Gain-Path** — like Count-Path but accumulating ``min(gain_a, gain_d)``
+  for each such node pair (a gain-weighted co-occurrence count);
+* **H-Stat** — Friedman's H^2 statistic estimated from partial dependence
+  on a sample of D* (the accurate but expensive reference).
+
+Count-Path and Gain-Path read only the forest structure and run in time
+linear in the forest size; H-Stat needs O(N |F'|^2) forest evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..xai.hstat import h_statistic_matrix
+from .feature_selection import forest_feature_gains
+
+__all__ = [
+    "candidate_pairs",
+    "pair_gain_scores",
+    "count_path_scores",
+    "gain_path_scores",
+    "h_stat_scores",
+    "rank_interactions",
+    "select_interactions",
+]
+
+Pair = tuple[int, int]
+
+
+def candidate_pairs(features: list[int]) -> list[Pair]:
+    """All unordered pairs of F' (the heredity-principle candidate set)."""
+    feats = sorted(set(int(f) for f in features))
+    if len(feats) < 2:
+        return []
+    return [
+        (feats[a], feats[b])
+        for a in range(len(feats))
+        for b in range(a + 1, len(feats))
+    ]
+
+
+def _normalize_pair(i: int, j: int) -> Pair:
+    return (i, j) if i < j else (j, i)
+
+
+def pair_gain_scores(forest, features: list[int]) -> dict[Pair, float]:
+    """I(f_i, f_j) = I(f_i) + I(f_j) with I the accumulated gain."""
+    gains = forest_feature_gains(forest)
+    return {
+        (i, j): float(gains[i] + gains[j]) for i, j in candidate_pairs(features)
+    }
+
+
+def _subtree_feature_stats(tree, want_gain: bool) -> dict[Pair, float]:
+    """Ancestor/descendant co-occurrence scores for one tree.
+
+    A postorder walk propagates, per subtree, the multiset of split
+    features (as either counts or lists of gains).  At each internal node
+    the node's feature is paired with every split in its subtree.
+    """
+    scores: dict[Pair, float] = {}
+
+    def recurse(node: int) -> dict[int, list[float] | int]:
+        if tree.is_leaf(node):
+            return {}
+        left = recurse(int(tree.left[node]))
+        right = recurse(int(tree.right[node]))
+        merged: dict[int, list[float] | int] = {}
+        for sub in (left, right):
+            for f, payload in sub.items():
+                if want_gain:
+                    merged.setdefault(f, []).extend(payload)
+                else:
+                    merged[f] = merged.get(f, 0) + payload
+        f_node = int(tree.feature[node])
+        g_node = float(tree.gain[node])
+        for f, payload in merged.items():
+            if f == f_node:
+                continue
+            key = _normalize_pair(f_node, f)
+            if want_gain:
+                contrib = float(sum(min(g_node, g) for g in payload))
+            else:
+                contrib = float(payload)
+            scores[key] = scores.get(key, 0.0) + contrib
+        if want_gain:
+            merged.setdefault(f_node, []).append(g_node)
+        else:
+            merged[f_node] = merged.get(f_node, 0) + 1
+        return merged
+
+    recurse(0)
+    return scores
+
+
+def _path_scores(forest, features: list[int], want_gain: bool) -> dict[Pair, float]:
+    wanted = set(candidate_pairs(features))
+    totals: dict[Pair, float] = {pair: 0.0 for pair in wanted}
+    for tree in forest.trees_:
+        for pair, value in _subtree_feature_stats(tree, want_gain).items():
+            if pair in totals:
+                totals[pair] += value
+    return totals
+
+
+def count_path_scores(forest, features: list[int]) -> dict[Pair, float]:
+    """Count of common-decision-path split pairs, summed over all trees."""
+    return _path_scores(forest, features, want_gain=False)
+
+
+def gain_path_scores(forest, features: list[int]) -> dict[Pair, float]:
+    """Gain-weighted Count-Path: accumulates min(gain, gain) per node pair."""
+    return _path_scores(forest, features, want_gain=True)
+
+
+def h_stat_scores(
+    forest,
+    features: list[int],
+    sample: np.ndarray,
+    background: np.ndarray | None = None,
+) -> dict[Pair, float]:
+    """Friedman H^2 per candidate pair, from PDs over a sample of D*."""
+    sample = np.atleast_2d(np.asarray(sample, dtype=np.float64))
+    if sample.shape[0] < 2:
+        raise ValueError("H-Stat needs at least two sample rows")
+    feats = sorted(set(int(f) for f in features))
+    raw = h_statistic_matrix(forest.predict_raw, sample, feats, background)
+    return {_normalize_pair(i, j): v for (i, j), v in raw.items()}
+
+
+def rank_interactions(
+    forest,
+    features: list[int],
+    strategy: str = "gain-path",
+    sample: np.ndarray | None = None,
+) -> list[tuple[Pair, float]]:
+    """Candidate pairs with scores, sorted by decreasing importance.
+
+    ``sample`` (rows of D*) is required by the ``h-stat`` strategy only.
+    """
+    if strategy == "pair-gain":
+        scores = pair_gain_scores(forest, features)
+    elif strategy == "count-path":
+        scores = count_path_scores(forest, features)
+    elif strategy == "gain-path":
+        scores = gain_path_scores(forest, features)
+    elif strategy == "h-stat":
+        if sample is None:
+            raise ValueError("the h-stat strategy requires a data sample")
+        scores = h_stat_scores(forest, features, sample)
+    else:
+        raise ValueError(f"unknown interaction strategy {strategy!r}")
+    return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def select_interactions(
+    forest,
+    features: list[int],
+    n_interactions: int,
+    strategy: str = "gain-path",
+    sample: np.ndarray | None = None,
+) -> list[Pair]:
+    """F'': the top ``n_interactions`` pairs under the chosen heuristic."""
+    if n_interactions < 0:
+        raise ValueError("n_interactions must be >= 0")
+    if n_interactions == 0:
+        return []
+    ranked = rank_interactions(forest, features, strategy, sample)
+    return [pair for pair, _ in ranked[:n_interactions]]

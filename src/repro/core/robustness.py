@@ -1,0 +1,141 @@
+"""Model auditing from the surrogate alone (the paper's closing use case).
+
+The conclusion argues that GEF enables "greater control over the model":
+using only the GAM's terms — still no training data — an auditor can look
+for unexpected behaviours and probe robustness, e.g. find the smallest
+single-feature change that moves the prediction by a chosen amount.
+
+Two audits are implemented:
+
+* :func:`sensitivity_profile` — per feature, the maximum prediction swing
+  achievable within a relative perturbation budget (read straight off the
+  splines; instability hot-spots such as the WEAM jump stand out);
+* :func:`minimal_shift` — the smallest single-feature perturbation that
+  moves the surrogate's output by at least ``delta`` (a first-order
+  adversarial-robustness probe, verified against the forest if given).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gam.terms import SplineTerm
+from .explanation import GEFExplanation
+
+__all__ = ["FeatureSensitivity", "MinimalShift", "sensitivity_profile", "minimal_shift"]
+
+
+@dataclass
+class FeatureSensitivity:
+    """Prediction swing achievable by perturbing one feature."""
+
+    feature: int
+    label: str
+    budget: float  # absolute perturbation radius probed
+    max_increase: float  # on the link scale
+    max_decrease: float
+    at_increase: float  # feature value achieving the max increase
+    at_decrease: float
+
+
+@dataclass
+class MinimalShift:
+    """Smallest single-feature change achieving a target output shift."""
+
+    feature: int
+    label: str
+    original_value: float
+    new_value: float
+    perturbation: float  # |new - original|
+    achieved_shift: float  # on the link scale
+
+
+def _spline_terms(explanation: GEFExplanation):
+    for idx, term in enumerate(explanation.gam.terms):
+        if isinstance(term, SplineTerm):
+            yield idx, term
+
+
+def sensitivity_profile(
+    explanation: GEFExplanation,
+    x: np.ndarray,
+    budget_fraction: float = 0.1,
+    n_points: int = 101,
+) -> list[FeatureSensitivity]:
+    """Per-feature swing of the surrogate within a perturbation budget.
+
+    The budget is ``budget_fraction`` of each feature's sampling-domain
+    span, centered on the instance's value.  Results are sorted by the
+    largest absolute swing.
+    """
+    if not 0.0 < budget_fraction <= 1.0:
+        raise ValueError("budget_fraction must be in (0, 1]")
+    x = np.asarray(x, dtype=np.float64).ravel()
+    out = []
+    for idx, term in _spline_terms(explanation):
+        feature = term.features[0]
+        domain = explanation.dataset.domains[feature]
+        budget = budget_fraction * float(domain.max() - domain.min())
+        grid = np.linspace(x[feature] - budget, x[feature] + budget, n_points)
+        contrib = explanation.gam.partial_dependence(idx, grid)
+        base = explanation.gam.partial_dependence(idx, x[feature : feature + 1])[0]
+        deltas = contrib - base
+        out.append(
+            FeatureSensitivity(
+                feature=feature,
+                label=term.label,
+                budget=budget,
+                max_increase=float(deltas.max()),
+                max_decrease=float(deltas.min()),
+                at_increase=float(grid[np.argmax(deltas)]),
+                at_decrease=float(grid[np.argmin(deltas)]),
+            )
+        )
+    out.sort(key=lambda s: -(s.max_increase - s.max_decrease))
+    return out
+
+
+def minimal_shift(
+    explanation: GEFExplanation,
+    x: np.ndarray,
+    delta: float,
+    n_points: int = 201,
+) -> MinimalShift | None:
+    """Smallest single-feature perturbation shifting the output by ``delta``.
+
+    Scans every spline component over its full sampling domain and returns
+    the candidate with the smallest absolute feature change whose
+    contribution delta reaches ``|delta|`` with the requested sign.
+    Returns ``None`` when no single feature can achieve the shift — itself
+    a robustness statement.
+    """
+    if delta == 0.0:
+        raise ValueError("delta must be nonzero")
+    x = np.asarray(x, dtype=np.float64).ravel()
+    best: MinimalShift | None = None
+    for idx, term in _spline_terms(explanation):
+        feature = term.features[0]
+        domain = explanation.dataset.domains[feature]
+        grid = np.linspace(float(domain.min()), float(domain.max()), n_points)
+        contrib = explanation.gam.partial_dependence(idx, grid)
+        base = explanation.gam.partial_dependence(idx, x[feature : feature + 1])[0]
+        deltas = contrib - base
+        achieved = deltas >= delta if delta > 0 else deltas <= delta
+        if not achieved.any():
+            continue
+        distances = np.abs(grid - x[feature])
+        distances[~achieved] = np.inf
+        pick = int(np.argmin(distances))
+        candidate = MinimalShift(
+            feature=feature,
+            label=term.label,
+            original_value=float(x[feature]),
+            new_value=float(grid[pick]),
+            perturbation=float(distances[pick]),
+            achieved_shift=float(deltas[pick]),
+        )
+        if best is None or candidate.perturbation < best.perturbation:
+            best = candidate
+    return best

@@ -1,0 +1,163 @@
+"""Sampling-domain construction: the five strategies of section 3.3.
+
+Each strategy turns the sorted list of split thresholds V_i of a feature
+into a finite *sampling domain* D_i — the values from which synthetic
+instances are drawn uniformly at random:
+
+* **All-Thresholds** — every midpoint between consecutive distinct
+  thresholds, plus the epsilon-extended extremes (Cohen et al.'s method);
+* **K-Quantile** — the K quantiles of V_i (threshold values reused);
+* **Equi-Width** — K evenly spaced points over the extended range;
+* **K-Means** — centroids of a k-means clustering of V_i;
+* **Equi-Size** — V_i cut into K contiguous equally sized runs, each
+  averaged (follows the threshold *density*, like K-Quantile, but
+  smooths instead of reusing exact values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import kmeans_1d_centroids
+from .feature_selection import feature_thresholds
+
+__all__ = [
+    "all_thresholds_domain",
+    "k_quantile_domain",
+    "equi_width_domain",
+    "k_means_domain",
+    "equi_size_domain",
+    "build_domain",
+    "build_sampling_domains",
+]
+
+
+def _validate_thresholds(thresholds: np.ndarray) -> np.ndarray:
+    thresholds = np.sort(np.asarray(thresholds, dtype=np.float64).ravel())
+    if thresholds.size == 0:
+        raise ValueError("a feature with no thresholds has no sampling domain")
+    return thresholds
+
+
+def _epsilon(thresholds: np.ndarray, fraction: float) -> float:
+    span = float(thresholds[-1] - thresholds[0])
+    if span > 0.0:
+        return fraction * span
+    # Degenerate single-valued threshold list: fall back to a scale-aware
+    # absolute widening so the domain still has two distinct points.
+    return fraction * max(abs(float(thresholds[0])), 1.0)
+
+
+def all_thresholds_domain(
+    thresholds: np.ndarray, epsilon_fraction: float = 0.05
+) -> np.ndarray:
+    """Midpoints of consecutive *distinct* thresholds plus extended extremes.
+
+    Midpoints avoid the corner case of sampling exactly on a split value;
+    the epsilon extension probes slightly beyond the outermost splits.
+    """
+    thresholds = _validate_thresholds(thresholds)
+    eps = _epsilon(thresholds, epsilon_fraction)
+    distinct = np.unique(thresholds)
+    midpoints = (distinct[:-1] + distinct[1:]) / 2.0
+    domain = np.concatenate(
+        [[distinct[0] - eps], midpoints, [distinct[-1] + eps]]
+    )
+    return np.unique(domain)
+
+
+def k_quantile_domain(thresholds: np.ndarray, k: int) -> np.ndarray:
+    """The K-quantiles of the (multiplicity-preserving) threshold list."""
+    thresholds = _validate_thresholds(thresholds)
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    qs = np.linspace(0.0, 1.0, k)
+    return np.unique(np.quantile(thresholds, qs))
+
+
+def equi_width_domain(
+    thresholds: np.ndarray, k: int, epsilon_fraction: float = 0.05
+) -> np.ndarray:
+    """K evenly spaced points over the epsilon-extended threshold range."""
+    thresholds = _validate_thresholds(thresholds)
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    eps = _epsilon(thresholds, epsilon_fraction)
+    return np.linspace(thresholds[0] - eps, thresholds[-1] + eps, k)
+
+
+def k_means_domain(
+    thresholds: np.ndarray, k: int, random_state: int | None = 0
+) -> np.ndarray:
+    """Centroids of a 1-D k-means over the thresholds (k = min(|V_i|, K))."""
+    thresholds = _validate_thresholds(thresholds)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return kmeans_1d_centroids(thresholds, k, random_state=random_state)
+
+
+def equi_size_domain(thresholds: np.ndarray, k: int) -> np.ndarray:
+    """Averages of K contiguous equal-size runs of the sorted thresholds."""
+    thresholds = _validate_thresholds(thresholds)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, thresholds.size)
+    chunks = np.array_split(thresholds, k)
+    return np.unique([float(np.mean(c)) for c in chunks])
+
+
+def build_domain(
+    thresholds: np.ndarray,
+    strategy: str,
+    k: int = 64,
+    epsilon_fraction: float = 0.05,
+    random_state: int | None = 0,
+) -> np.ndarray:
+    """Sampling domain of one feature under the named strategy.
+
+    Degenerate safeguard: a feature with a single distinct threshold (e.g.
+    a one-hot column always split at 0.5) would collapse to a one-point
+    domain under the threshold-reusing strategies — and a point sitting
+    exactly on the split never exercises the right branch.  Such features
+    fall back to the All-Thresholds domain, whose epsilon extension
+    straddles the split.
+    """
+    if strategy == "all-thresholds":
+        return all_thresholds_domain(thresholds, epsilon_fraction)
+    if strategy == "k-quantile":
+        domain = k_quantile_domain(thresholds, k)
+    elif strategy == "equi-width":
+        domain = equi_width_domain(thresholds, k, epsilon_fraction)
+    elif strategy == "k-means":
+        domain = k_means_domain(thresholds, k, random_state)
+    elif strategy == "equi-size":
+        domain = equi_size_domain(thresholds, k)
+    else:
+        raise ValueError(f"unknown sampling strategy {strategy!r}")
+    if len(domain) < 2:
+        return all_thresholds_domain(thresholds, epsilon_fraction)
+    return domain
+
+
+def build_sampling_domains(
+    forest,
+    strategy: str,
+    k: int = 64,
+    epsilon_fraction: float = 0.05,
+    random_state: int | None = 0,
+) -> dict[int, np.ndarray]:
+    """Sampling domains for every feature the forest splits on.
+
+    Features never used by the forest are omitted: the forest's output
+    does not depend on them, so any constant value works when querying it.
+    """
+    domains: dict[int, np.ndarray] = {}
+    for feature, thresholds in enumerate(feature_thresholds(forest)):
+        if thresholds.size == 0:
+            continue
+        domains[feature] = build_domain(
+            thresholds, strategy, k, epsilon_fraction, random_state
+        )
+    if not domains:
+        raise ValueError("the forest contains no splits; nothing to sample")
+    return domains

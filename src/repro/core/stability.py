@@ -1,0 +1,125 @@
+"""Stability analysis of GEF explanations across sampling seeds.
+
+The paper's conclusion concedes that "a more accurate evaluation is
+needed".  One dimension of that is *stability*: D* is random, so two GEF
+runs with different seeds produce different GAMs — how different?  An
+explanation an analyst should trust must not change its story when the
+synthetic sample is redrawn.
+
+:func:`stability_analysis` reruns the pipeline over several seeds and
+summarizes: agreement of the selected feature sets, per-feature spread of
+the component curves, and the spread of fidelity scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .config import GEFConfig
+from .explainer import GEF
+
+__all__ = ["StabilityReport", "stability_analysis"]
+
+
+@dataclass
+class StabilityReport:
+    """Cross-seed variability of a GEF configuration on one forest."""
+
+    seeds: list[int]
+    feature_sets: list[list[int]]  # F' per seed
+    feature_agreement: float  # mean pairwise Jaccard of the F' sets
+    fidelity_r2: list[float]
+    component_spread: dict[int, float]  # feature -> mean curve std / range
+
+    def summary(self) -> str:
+        """Readable multi-line report."""
+        lines = [
+            f"stability over seeds {self.seeds}:",
+            f"  F' agreement (mean pairwise Jaccard): {self.feature_agreement:.3f}",
+            f"  fidelity R2: mean {np.mean(self.fidelity_r2):.4f} "
+            f"(min {min(self.fidelity_r2):.4f}, max {max(self.fidelity_r2):.4f})",
+            "  component spread (mean cross-seed std / curve range):",
+        ]
+        for feature, spread in sorted(self.component_spread.items()):
+            lines.append(f"    x{feature}: {spread:.4f}")
+        return "\n".join(lines)
+
+
+def _jaccard(a: set, b: set) -> float:
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def stability_analysis(
+    forest,
+    config: GEFConfig | None = None,
+    seeds: list[int] | None = None,
+    n_grid: int = 50,
+) -> StabilityReport:
+    """Rerun GEF for every seed and quantify explanation variability.
+
+    For each feature selected by *every* run, the spline curves are
+    evaluated on a shared grid; the spread is the mean (across the grid)
+    of the cross-seed standard deviation, normalized by the mean curve's
+    value range.  A spread near zero means the explanation is stable.
+    """
+    if config is None:
+        config = GEFConfig()
+    if seeds is None:
+        seeds = [0, 1, 2, 3, 4]
+    if len(seeds) < 2:
+        raise ValueError("stability needs at least two seeds")
+
+    explanations = []
+    for seed in seeds:
+        gef = GEF(replace(config, random_state=seed))
+        explanations.append(gef.explain(forest))
+
+    feature_sets = [list(e.features) for e in explanations]
+    sets = [set(fs) for fs in feature_sets]
+    pair_scores = [
+        _jaccard(sets[i], sets[j])
+        for i in range(len(sets))
+        for j in range(i + 1, len(sets))
+    ]
+    agreement = float(np.mean(pair_scores))
+
+    common = set.intersection(*sets)
+    spread: dict[int, float] = {}
+    for feature in sorted(common):
+        curves = []
+        lo = max(float(e.dataset.domains[feature].min()) for e in explanations)
+        hi = min(float(e.dataset.domains[feature].max()) for e in explanations)
+        if hi <= lo:
+            continue
+        grid = np.linspace(lo, hi, n_grid)
+        for e in explanations:
+            term_index = next(
+                (i for i, t in enumerate(e.gam.terms) if t.features == (feature,)),
+                None,
+            )
+            if term_index is None:
+                break
+            curve = e.gam.partial_dependence(term_index, grid)
+            curves.append(curve - curve.mean())
+        if len(curves) != len(explanations):
+            continue
+        stack = np.vstack(curves)
+        mean_curve = stack.mean(axis=0)
+        value_range = float(mean_curve.max() - mean_curve.min())
+        if value_range <= 0:
+            spread[feature] = 0.0
+        else:
+            spread[feature] = float(stack.std(axis=0).mean() / value_range)
+
+    return StabilityReport(
+        seeds=list(seeds),
+        feature_sets=feature_sets,
+        feature_agreement=agreement,
+        fidelity_r2=[float(e.fidelity["r2"]) for e in explanations],
+        component_spread=spread,
+    )

@@ -1,0 +1,148 @@
+"""Automated component-count selection (the Figure 7 sweep as an API).
+
+The paper leaves |F'| and |F''| to the analyst but demonstrates how to
+choose them: sweep both counts, look at the RMSE surface, and stop adding
+components once the marginal gain falls below a tolerance (they settle on
+7 splines / 0 interactions because the last 2 splines buy ~5% and 8
+interactions only ~2%).  :func:`suggest_components` automates exactly that
+elbow rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .config import GEFConfig
+from .explainer import GEF
+from .feature_selection import select_univariate
+
+__all__ = ["ComponentSweep", "suggest_components"]
+
+
+@dataclass
+class ComponentSweep:
+    """Result of a component-count sweep."""
+
+    univariate_counts: list[int]
+    interaction_counts: list[int]
+    rmse: np.ndarray  # (len(univariate_counts), len(interaction_counts))
+    suggested_univariate: int
+    suggested_interactions: int
+
+    def summary(self) -> str:
+        """The sweep as a small text table with the suggestion marked."""
+        lines = [
+            "component sweep (rows: |F'|, cols: |F''|):",
+            "        " + " ".join(f"{j:>9d}" for j in self.interaction_counts),
+        ]
+        for i, n_uni in enumerate(self.univariate_counts):
+            cells = " ".join(f"{self.rmse[i, j]:9.4f}"
+                             for j in range(len(self.interaction_counts)))
+            marker = " <-" if n_uni == self.suggested_univariate else ""
+            lines.append(f"{n_uni:>7d} {cells}{marker}")
+        lines.append(
+            f"suggestion: |F'| = {self.suggested_univariate}, "
+            f"|F''| = {self.suggested_interactions}"
+        )
+        return "\n".join(lines)
+
+
+def _rmse_for(forest, config: GEFConfig, n_uni: int, n_int: int) -> float:
+    run = replace(config, n_univariate=n_uni, n_interactions=n_int)
+    return GEF(run).explain(forest).fidelity["rmse"]
+
+
+def suggest_components(
+    forest,
+    config: GEFConfig | None = None,
+    max_univariate: int | None = None,
+    max_interactions: int = 4,
+    tolerance: float = 0.05,
+    verbose: bool = False,
+) -> ComponentSweep:
+    """Sweep component counts and pick the smallest adequate explanation.
+
+    Strategy (the paper's reading of Figure 7): grow |F'| until the next
+    component improves RMSE by less than ``tolerance`` (relative); then
+    grow |F''| under the same rule.  Smaller models are preferred at equal
+    accuracy because every extra spline costs the analyst attention.
+
+    Parameters
+    ----------
+    forest:
+        The fitted forest to explain.
+    config:
+        Base GEF configuration; component counts are overridden.
+    max_univariate:
+        Largest |F'| to try (default: every feature the forest uses).
+    max_interactions:
+        Largest |F''| to try.
+    tolerance:
+        Minimal relative RMSE improvement that justifies one more
+        component.
+    """
+    if config is None:
+        config = GEFConfig()
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    usable = len(select_univariate(forest))
+    if max_univariate is None:
+        max_univariate = usable
+    max_univariate = min(max_univariate, usable)
+    if max_univariate < 1:
+        raise ValueError("no usable features")
+
+    univariate_counts = list(range(1, max_univariate + 1))
+    interaction_counts = list(range(0, max_interactions + 1))
+    rmse = np.full((len(univariate_counts), len(interaction_counts)), np.nan)
+
+    # Phase 1: grow |F'| at |F''| = 0 until the marginal gain fades.
+    suggested_uni = univariate_counts[0]
+    rmse[0, 0] = _rmse_for(forest, config, univariate_counts[0], 0)
+    if verbose:
+        print(f"|F'|={univariate_counts[0]}: rmse={rmse[0, 0]:.4f}")
+    for i in range(1, len(univariate_counts)):
+        rmse[i, 0] = _rmse_for(forest, config, univariate_counts[i], 0)
+        if verbose:
+            print(f"|F'|={univariate_counts[i]}: rmse={rmse[i, 0]:.4f}")
+        improvement = (rmse[i - 1, 0] - rmse[i, 0]) / max(rmse[i - 1, 0], 1e-12)
+        if improvement >= tolerance:
+            suggested_uni = univariate_counts[i]
+        else:
+            break
+
+    # Phase 2: with |F'| fixed, grow |F''| under the same rule.
+    uni_index = univariate_counts.index(suggested_uni)
+    suggested_int = 0
+    # A single main effect admits no pairs (heredity principle).
+    max_pairs = suggested_uni * (suggested_uni - 1) // 2
+    for j in range(1, len(interaction_counts)):
+        if interaction_counts[j] > max_pairs:
+            break
+        if np.isnan(rmse[uni_index, j - 1]):
+            rmse[uni_index, j - 1] = _rmse_for(
+                forest, config, suggested_uni, interaction_counts[j - 1]
+            )
+        rmse[uni_index, j] = _rmse_for(
+            forest, config, suggested_uni, interaction_counts[j]
+        )
+        if verbose:
+            print(f"|F''|={interaction_counts[j]}: "
+                  f"rmse={rmse[uni_index, j]:.4f}")
+        improvement = (
+            rmse[uni_index, j - 1] - rmse[uni_index, j]
+        ) / max(rmse[uni_index, j - 1], 1e-12)
+        if improvement >= tolerance:
+            suggested_int = interaction_counts[j]
+        else:
+            break
+
+    return ComponentSweep(
+        univariate_counts=univariate_counts,
+        interaction_counts=interaction_counts,
+        rmse=rmse,
+        suggested_univariate=suggested_uni,
+        suggested_interactions=suggested_int,
+    )

@@ -1,0 +1,47 @@
+"""Data substrate: the paper's synthetic functions and dataset simulators."""
+
+from .census import CATEGORICAL_LEVELS, CensusData, load_census
+from .superconductivity import (
+    FEATURE_NAMES,
+    PROPERTIES,
+    STATS,
+    TARGET_FEATURES,
+    SuperconductivityData,
+    load_superconductivity,
+)
+from .synthetic import (
+    GENERATORS,
+    NOISE_STD,
+    SyntheticDataset,
+    all_interaction_triples,
+    all_pairs,
+    g_double_prime,
+    g_prime,
+    interaction_bump,
+    make_d_double_prime,
+    make_d_prime,
+    sigmoid_1d,
+)
+
+__all__ = [
+    "CATEGORICAL_LEVELS",
+    "CensusData",
+    "FEATURE_NAMES",
+    "GENERATORS",
+    "NOISE_STD",
+    "PROPERTIES",
+    "STATS",
+    "SuperconductivityData",
+    "SyntheticDataset",
+    "TARGET_FEATURES",
+    "all_interaction_triples",
+    "all_pairs",
+    "g_double_prime",
+    "g_prime",
+    "interaction_bump",
+    "load_census",
+    "load_superconductivity",
+    "make_d_double_prime",
+    "make_d_prime",
+    "sigmoid_1d",
+]

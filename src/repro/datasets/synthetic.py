@@ -1,0 +1,187 @@
+"""The paper's synthetic generators: g', h, g''_Pi and datasets D', D''.
+
+Section 4.1 defines a 5-dimensional regression target out of five bounded
+"generator" functions,
+
+    g'(x) = x_1 + sin(20 x_2) + sigma(50 (x_3 - 0.5))
+            + (arctan(10 x_4) - sin(10 x_4)) / 2 + 2 / (x_5 + 1),
+
+an interaction bump
+
+    h(x_i, x_j) = 2 exp( -(1/sqrt(2 pi)) ((x_i-.5)^2 + (x_j-.5)^2) / 2 ),
+
+and g''_Pi(x) = g'(x) + sum of h over a set Pi of three feature pairs.
+Gaussian noise N(0, 0.1^2) is added per generating function.  Datasets are
+drawn uniformly on [0, 1]^5 with a 8,000 / 2,000 train/test split.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GENERATORS",
+    "NOISE_STD",
+    "g_prime",
+    "interaction_bump",
+    "g_double_prime",
+    "make_d_prime",
+    "make_d_double_prime",
+    "all_pairs",
+    "all_interaction_triples",
+    "sigmoid_1d",
+    "SyntheticDataset",
+]
+
+#: Per-generator Gaussian noise level used by the paper.
+NOISE_STD = 0.1
+
+N_FEATURES = 5
+
+
+def _gen_1(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _gen_2(x: np.ndarray) -> np.ndarray:
+    return np.sin(20.0 * x)
+
+
+def _gen_3(x: np.ndarray) -> np.ndarray:
+    z = np.exp(50.0 * (x - 0.5))
+    return z / (z + 1.0)
+
+
+def _gen_4(x: np.ndarray) -> np.ndarray:
+    return (np.arctan(10.0 * x) - np.sin(10.0 * x)) / 2.0
+
+
+def _gen_5(x: np.ndarray) -> np.ndarray:
+    return 2.0 / (x + 1.0)
+
+
+#: The five univariate generator functions of g', in feature order.
+GENERATORS = (_gen_1, _gen_2, _gen_3, _gen_4, _gen_5)
+
+
+def g_prime(X: np.ndarray) -> np.ndarray:
+    """Noise-free g'(x) on rows of a ``(n, 5)`` matrix."""
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    if X.shape[1] != N_FEATURES:
+        raise ValueError(f"g' expects {N_FEATURES} features, got {X.shape[1]}")
+    return sum(gen(X[:, j]) for j, gen in enumerate(GENERATORS))
+
+
+def interaction_bump(xi: np.ndarray, xj: np.ndarray) -> np.ndarray:
+    """The pairwise bump h(x_i, x_j) centered at (0.5, 0.5)."""
+    d2 = (np.asarray(xi) - 0.5) ** 2 + (np.asarray(xj) - 0.5) ** 2
+    return 2.0 * np.exp(-d2 / (2.0 * np.sqrt(2.0 * np.pi)))
+
+
+def g_double_prime(X: np.ndarray, pairs: list[tuple[int, int]]) -> np.ndarray:
+    """Noise-free g''_Pi(x): g' plus one bump per pair in ``pairs``."""
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    y = g_prime(X)
+    for i, j in pairs:
+        _check_pair(i, j)
+        y = y + interaction_bump(X[:, i], X[:, j])
+    return y
+
+
+def _check_pair(i: int, j: int) -> None:
+    if not (0 <= i < N_FEATURES and 0 <= j < N_FEATURES and i != j):
+        raise ValueError(f"invalid feature pair ({i}, {j}) for 5 features")
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated dataset with its train/test split and ground truth."""
+
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    pairs: list[tuple[int, int]]  # injected interactions (empty for D')
+
+    @property
+    def n_features(self) -> int:
+        """Input dimensionality (always 5 here)."""
+        return self.X_train.shape[1]
+
+
+def _sample(
+    n: int,
+    pairs: list[tuple[int, int]],
+    noise_std: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    X = rng.uniform(0.0, 1.0, size=(n, N_FEATURES))
+    y = np.zeros(n)
+    # Noise is added per generating function, matching the paper.
+    for j, gen in enumerate(GENERATORS):
+        y += gen(X[:, j]) + rng.normal(0.0, noise_std, size=n)
+    for i, j in pairs:
+        _check_pair(i, j)
+        y += interaction_bump(X[:, i], X[:, j]) + rng.normal(0.0, noise_std, size=n)
+    return X, y
+
+
+def make_d_prime(
+    n: int = 10_000,
+    train_fraction: float = 0.8,
+    noise_std: float = NOISE_STD,
+    seed: int | None = 0,
+) -> SyntheticDataset:
+    """Dataset D': g' plus per-generator noise, split 80/20."""
+    return make_d_double_prime(
+        [], n=n, train_fraction=train_fraction, noise_std=noise_std, seed=seed
+    )
+
+
+def make_d_double_prime(
+    pairs: list[tuple[int, int]],
+    n: int = 10_000,
+    train_fraction: float = 0.8,
+    noise_std: float = NOISE_STD,
+    seed: int | None = 0,
+) -> SyntheticDataset:
+    """Dataset D'' for a given interaction set Pi (D' when Pi is empty)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    X, y = _sample(n, pairs, noise_std, rng)
+    n_train = int(round(train_fraction * n))
+    return SyntheticDataset(
+        X_train=X[:n_train],
+        y_train=y[:n_train],
+        X_test=X[n_train:],
+        y_test=y[n_train:],
+        pairs=list(pairs),
+    )
+
+
+def all_pairs() -> list[tuple[int, int]]:
+    """The C(5,2) = 10 unordered feature pairs, in lexicographic order."""
+    return list(itertools.combinations(range(N_FEATURES), 2))
+
+
+def all_interaction_triples() -> list[tuple[tuple[int, int], ...]]:
+    """All C(10,3) = 120 sets of three interaction pairs (the Fig 6 sweep)."""
+    return list(itertools.combinations(all_pairs(), 3))
+
+
+def sigmoid_1d(
+    n: int = 2_000, steepness: float = 50.0, seed: int | None = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """The 1-D sigmoid workload of Figure 3's sampling illustration.
+
+    ``y = exp(k (x - 0.5)) / (exp(k (x - 0.5)) + 1)`` on x ~ U[0, 1].
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1.0, size=(n, 1))
+    z = np.exp(steepness * (x[:, 0] - 0.5))
+    y = z / (z + 1.0)
+    return x, y

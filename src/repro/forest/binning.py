@@ -1,0 +1,117 @@
+"""Histogram binning of feature values for fast tree growing.
+
+Gradient-boosting libraries such as LightGBM do not search splits over raw
+feature values; they first discretize every feature into a small number of
+bins (at most 255 here) whose boundaries are picked from the empirical
+quantiles of the training data.  Split search then reduces to a scan over
+histogram bins, which makes tree growing linear in the number of rows.
+
+The :class:`BinMapper` below reproduces that behaviour.  It remembers, for
+every feature, the ordered list of *upper* bin boundaries.  A value ``v``
+falls into the first bin whose boundary is ``>= v``; the rightmost bin is
+unbounded above.  Split thresholds reported by the grower are the bin
+boundaries themselves, so a trained tree can be evaluated on raw (unbinned)
+data with ordinary ``x <= threshold`` tests, exactly like a LightGBM model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BinMapper", "MAX_BINS"]
+
+#: Upper limit on the number of bins per feature (LightGBM's default is 255).
+MAX_BINS = 255
+
+
+class BinMapper:
+    """Quantile-based discretizer mapping raw features to small integer bins.
+
+    Parameters
+    ----------
+    max_bins:
+        Maximum number of bins per feature; must be in ``[2, 255]``.
+
+    Attributes
+    ----------
+    bin_edges_:
+        List with one ``np.ndarray`` of strictly increasing bin *upper*
+        boundaries per feature.  A feature with ``k`` distinct boundary
+        values produces ``k + 1`` bins: bin ``i`` holds values in
+        ``(edges[i-1], edges[i]]`` and the last bin holds everything above
+        the final edge.
+    n_bins_:
+        Actual number of bins per feature (``len(edges) + 1``).
+    """
+
+    def __init__(self, max_bins: int = MAX_BINS):
+        if not 2 <= max_bins <= MAX_BINS:
+            raise ValueError(f"max_bins must be in [2, {MAX_BINS}], got {max_bins}")
+        self.max_bins = max_bins
+        self.bin_edges_: list[np.ndarray] | None = None
+        self.n_bins_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "BinMapper":
+        """Compute per-feature bin boundaries from the training matrix."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be a 2-D array")
+        edges = []
+        for j in range(X.shape[1]):
+            edges.append(self._feature_edges(X[:, j]))
+        self.bin_edges_ = edges
+        self.n_bins_ = np.array([len(e) + 1 for e in edges], dtype=np.int32)
+        return self
+
+    def _feature_edges(self, col: np.ndarray) -> np.ndarray:
+        """Boundaries for one feature: distinct-value midpoints or quantiles."""
+        distinct = np.unique(col)
+        if distinct.size <= 1:
+            # Constant feature: a single bin, no usable split boundary.
+            return np.empty(0, dtype=np.float64)
+        if distinct.size <= self.max_bins:
+            # Few distinct values: one bin per value, boundaries at midpoints.
+            return (distinct[:-1] + distinct[1:]) / 2.0
+        # Many distinct values: place boundaries at evenly spaced quantiles
+        # of the *distinct* values so that heavy duplication cannot collapse
+        # all boundaries onto one point.
+        qs = np.linspace(0, 1, self.max_bins + 1)[1:-1]
+        edges = np.unique(np.quantile(distinct, qs))
+        return edges.astype(np.float64)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map raw values to bin indices (dtype uint16, C-contiguous)."""
+        if self.bin_edges_ is None:
+            raise RuntimeError("BinMapper must be fitted before transform()")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.bin_edges_):
+            raise ValueError(
+                f"X must be 2-D with {len(self.bin_edges_)} columns, got {X.shape}"
+            )
+        binned = np.empty(X.shape, dtype=np.uint16, order="F")
+        for j, edges in enumerate(self.bin_edges_):
+            # side='left' puts v == edge into the bin *below* the edge,
+            # matching the `x <= threshold` convention of the trees.
+            binned[:, j] = np.searchsorted(edges, X[:, j], side="left")
+        return binned
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Equivalent to ``fit(X).transform(X)``."""
+        return self.fit(X).transform(X)
+
+    def bin_threshold(self, feature: int, bin_index: int) -> float:
+        """Raw-value split threshold for ``x <= threshold`` at a bin boundary.
+
+        Splitting feature ``feature`` "after bin ``bin_index``" sends rows
+        with bin index ``<= bin_index`` left; the equivalent raw-value test
+        is ``x <= bin_edges_[feature][bin_index]``.
+        """
+        if self.bin_edges_ is None:
+            raise RuntimeError("BinMapper must be fitted first")
+        edges = self.bin_edges_[feature]
+        if not 0 <= bin_index < len(edges):
+            raise IndexError(
+                f"bin_index {bin_index} out of range for feature {feature} "
+                f"with {len(edges)} boundaries"
+            )
+        return float(edges[bin_index])

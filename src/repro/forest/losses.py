@@ -1,0 +1,89 @@
+"""Loss functions for gradient boosting (second-order, LightGBM style).
+
+Each loss exposes the gradient and hessian of the per-sample objective with
+respect to the raw model score, plus the optimal constant initial score.
+Leaf values are then the standard Newton step ``-G / (H + lambda)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SquaredLoss", "LogisticLoss", "get_loss", "sigmoid"]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class SquaredLoss:
+    """Mean squared error, ``l(y, s) = (y - s)^2 / 2``; identity link."""
+
+    name = "l2"
+    is_classification = False
+
+    def init_score(self, y: np.ndarray) -> float:
+        """Optimal constant raw score: the target mean."""
+        return float(np.mean(y))
+
+    def gradient_hessian(
+        self, y: np.ndarray, raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """First and second derivative of the loss w.r.t. the raw score."""
+        return raw - y, np.ones_like(raw)
+
+    def raw_to_prediction(self, raw: np.ndarray) -> np.ndarray:
+        """Raw scores are predictions directly."""
+        return raw
+
+    def loss(self, y: np.ndarray, raw: np.ndarray) -> float:
+        """Mean of the per-sample loss (for early stopping)."""
+        return float(np.mean((y - raw) ** 2) / 2.0)
+
+
+class LogisticLoss:
+    """Binary cross-entropy on raw log-odds scores; logit link."""
+
+    name = "binary"
+    is_classification = True
+
+    def init_score(self, y: np.ndarray) -> float:
+        """Optimal constant raw score: log-odds of the positive rate."""
+        p = float(np.clip(np.mean(y), 1e-12, 1 - 1e-12))
+        return float(np.log(p / (1.0 - p)))
+
+    def gradient_hessian(
+        self, y: np.ndarray, raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gradient ``p - y`` and hessian ``p (1 - p)`` of the log loss."""
+        p = sigmoid(raw)
+        return p - y, np.maximum(p * (1.0 - p), 1e-16)
+
+    def raw_to_prediction(self, raw: np.ndarray) -> np.ndarray:
+        """Positive-class probability from raw log-odds."""
+        return sigmoid(raw)
+
+    def loss(self, y: np.ndarray, raw: np.ndarray) -> float:
+        """Mean binary cross-entropy (computed stably from raw scores)."""
+        # log(1 + exp(raw)) - y * raw, stabilized via logaddexp.
+        return float(np.mean(np.logaddexp(0.0, raw) - y * raw))
+
+
+_LOSSES = {cls.name: cls for cls in (SquaredLoss, LogisticLoss)}
+
+
+def get_loss(name: str):
+    """Instantiate a loss by its LightGBM-style objective name."""
+    try:
+        return _LOSSES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown loss '{name}'; available: {sorted(_LOSSES)}"
+        ) from None

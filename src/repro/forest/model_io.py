@@ -1,0 +1,87 @@
+"""Forest serialization: dump/load to plain dicts and JSON files.
+
+GEF's threat model has a third party (e.g. a certification authority)
+holding the forest *structure* but not the training data.  This module is
+that hand-off format: everything GEF needs (features, thresholds, gains,
+leaf values, covers, init score) and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .random_forest import RandomForestClassifier, RandomForestRegressor
+from .tree import Tree
+
+__all__ = ["forest_to_dict", "forest_from_dict", "save_forest", "load_forest"]
+
+_MODEL_CLASSES = {
+    "GradientBoostingRegressor": GradientBoostingRegressor,
+    "GradientBoostingClassifier": GradientBoostingClassifier,
+    "RandomForestRegressor": RandomForestRegressor,
+    "RandomForestClassifier": RandomForestClassifier,
+}
+
+
+def forest_to_dict(model) -> dict:
+    """Serialize a fitted forest's structure to a plain dict."""
+    if not getattr(model, "trees_", None):
+        raise ValueError("model is not fitted")
+    return {
+        "model_class": type(model).__name__,
+        "n_features": int(model.n_features_),
+        "init_score": float(model.init_score_),
+        "trees": [tree.to_dict() for tree in model.trees_],
+    }
+
+
+def forest_from_dict(data: dict):
+    """Rebuild a predict-capable forest from :func:`forest_to_dict` output.
+
+    Only the structure is restored; training hyper-parameters are not
+    round-tripped (they are irrelevant to explanation).
+    """
+    cls_name = data["model_class"]
+    if cls_name not in _MODEL_CLASSES:
+        raise ValueError(f"unknown model class {cls_name!r}")
+    model = _MODEL_CLASSES[cls_name]()
+    model.n_features_ = int(data["n_features"])
+    model.init_score_ = float(data["init_score"])
+    model.trees_ = [Tree.from_dict(t) for t in data["trees"]]
+    return model
+
+
+def save_forest(model, path: str | Path) -> None:
+    """Write a fitted forest to a JSON file."""
+    path = Path(path)
+    with path.open("w") as f:
+        json.dump(forest_to_dict(model), f)
+
+
+def load_forest(path: str | Path):
+    """Read a forest previously written by :func:`save_forest`."""
+    path = Path(path)
+    with path.open() as f:
+        return forest_from_dict(json.load(f))
+
+
+def forests_equal(a, b, atol: float = 0.0) -> bool:
+    """Structural equality of two forests (used by round-trip tests)."""
+    if type(a).__name__ != type(b).__name__:
+        return False
+    if a.n_features_ != b.n_features_ or len(a.trees_) != len(b.trees_):
+        return False
+    if abs(a.init_score_ - b.init_score_) > atol:
+        return False
+    for ta, tb in zip(a.trees_, b.trees_):
+        for name in ("feature", "left", "right", "n_samples"):
+            if not np.array_equal(getattr(ta, name), getattr(tb, name)):
+                return False
+        for name in ("threshold", "value", "gain", "cover"):
+            if not np.allclose(getattr(ta, name), getattr(tb, name), atol=atol):
+                return False
+    return True

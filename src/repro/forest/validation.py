@@ -1,0 +1,140 @@
+"""Model-selection utilities: splits, k-fold CV and grid search.
+
+The paper tunes its LightGBM forests with 5-fold cross-validation over a
+small grid (number of trees, leaves per tree, learning rate) plus a 25%
+validation split for early stopping.  These helpers reproduce that loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["train_test_split", "kfold_indices", "cross_val_score", "GridSearch"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split of (X, y) into train and test partitions."""
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y have inconsistent lengths")
+    rng = np.random.default_rng(random_state)
+    n = len(X)
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(test_size * n)))
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def kfold_indices(
+    n: int, n_splits: int = 5, random_state: int | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_idx, valid_idx) pairs covering ``range(n)``."""
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    if n < n_splits:
+        raise ValueError("need at least one sample per fold")
+    rng = np.random.default_rng(random_state)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, n_splits)
+    out = []
+    for i in range(n_splits):
+        valid = folds[i]
+        train = np.concatenate([folds[j] for j in range(n_splits) if j != i])
+        out.append((train, valid))
+    return out
+
+
+def cross_val_score(
+    model_factory,
+    X: np.ndarray,
+    y: np.ndarray,
+    score_fn,
+    n_splits: int = 5,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Per-fold scores of models built by ``model_factory()``.
+
+    ``score_fn(y_true, y_pred)`` is evaluated on each held-out fold; higher
+    must mean better (negate error metrics).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, valid_idx in kfold_indices(len(X), n_splits, random_state):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(score_fn(y[valid_idx], model.predict(X[valid_idx])))
+    return np.asarray(scores)
+
+
+@dataclass
+class GridSearchResult:
+    """Best configuration found by :class:`GridSearch`."""
+
+    best_params: dict
+    best_score: float
+    all_results: list[tuple[dict, float]]
+
+
+class GridSearch:
+    """Exhaustive CV grid search mirroring the paper's tuning protocol.
+
+    Parameters
+    ----------
+    model_class:
+        Estimator class; instantiated as ``model_class(**params)``.
+    param_grid:
+        Mapping from parameter name to the list of values to try.
+    score_fn:
+        ``score_fn(y_true, y_pred) -> float``, higher is better.
+    n_splits:
+        Number of CV folds (the paper uses 5).
+    """
+
+    def __init__(
+        self,
+        model_class,
+        param_grid: dict,
+        score_fn,
+        n_splits: int = 5,
+        random_state: int | None = None,
+    ):
+        self.model_class = model_class
+        self.param_grid = param_grid
+        self.score_fn = score_fn
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def _configurations(self):
+        keys = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, values))
+
+    def run(self, X: np.ndarray, y: np.ndarray) -> GridSearchResult:
+        """Evaluate every configuration and return the best by mean score."""
+        results = []
+        for params in self._configurations():
+            scores = cross_val_score(
+                lambda p=params: self.model_class(**p),
+                X,
+                y,
+                self.score_fn,
+                n_splits=self.n_splits,
+                random_state=self.random_state,
+            )
+            results.append((params, float(np.mean(scores))))
+        if not results:
+            raise ValueError("param_grid produced no configurations")
+        best_params, best_score = max(results, key=lambda r: r[1])
+        return GridSearchResult(best_params, best_score, results)

@@ -1,0 +1,102 @@
+"""B-spline bases and difference penalties (the P-spline machinery).
+
+GEF fits its surrogate with penalized B-splines: third-order spline terms
+with a fixed number of basis functions per feature, smoothed by a
+second-order difference penalty on the coefficients (Eilers & Marx
+P-splines, the same construction PyGAM uses).
+
+The basis here uses uniformly spaced knots extended ``degree`` intervals
+beyond each end of the feature domain, so the basis forms a partition of
+unity on the whole domain.  Evaluation outside the domain clamps to the
+boundary, giving constant extrapolation — the safe choice for a surrogate
+queried slightly outside the sampled region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_knots", "bspline_design", "difference_penalty"]
+
+
+def uniform_knots(lo: float, hi: float, n_splines: int, degree: int = 3) -> np.ndarray:
+    """Uniform (unclamped) knot vector supporting ``n_splines`` bases.
+
+    Produces ``n_splines + degree + 1`` knots: the domain ``[lo, hi]`` is cut
+    into ``n_splines - degree`` equal intervals and extended ``degree``
+    intervals past each boundary.
+    """
+    if n_splines <= degree:
+        raise ValueError(f"n_splines must exceed degree ({degree}), got {n_splines}")
+    if not np.isfinite(lo) or not np.isfinite(hi):
+        raise ValueError("domain bounds must be finite")
+    if hi <= lo:
+        # Degenerate (constant) feature: widen artificially so the basis
+        # is well defined; all evaluations clamp to the same point anyway.
+        hi = lo + 1.0
+    n_interior = n_splines - degree
+    step = (hi - lo) / n_interior
+    return lo + step * np.arange(-degree, n_interior + degree + 1)
+
+
+def bspline_design(
+    x: np.ndarray, knots: np.ndarray, degree: int = 3
+) -> np.ndarray:
+    """Dense design matrix of B-spline basis functions evaluated at ``x``.
+
+    Cox–de Boor recursion, vectorized over the evaluation points.  Inputs
+    are clamped to the knot-supported domain, which yields constant
+    extrapolation of the fitted spline beyond it.
+
+    Returns an ``(len(x), len(knots) - degree - 1)`` array whose rows sum to
+    one (partition of unity).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    knots = np.asarray(knots, dtype=np.float64)
+    n_bases = len(knots) - degree - 1
+    if n_bases < 1:
+        raise ValueError("knot vector too short for the requested degree")
+
+    # Clamp into the fully supported interval [knots[degree], knots[-degree-1]).
+    lo = knots[degree]
+    hi = knots[-degree - 1]
+    eps = 1e-12 * max(1.0, abs(hi))
+    xc = np.clip(x, lo, hi - eps if hi > lo else lo)
+
+    # Degree-0 bases: indicator of the half-open knot interval.
+    n0 = len(knots) - 1
+    basis = np.zeros((len(xc), n0))
+    interval = np.clip(np.searchsorted(knots, xc, side="right") - 1, 0, n0 - 1)
+    basis[np.arange(len(xc)), interval] = 1.0
+
+    # Cox–de Boor elevation to the requested degree.
+    for d in range(1, degree + 1):
+        n_d = n0 - d
+        new = np.zeros((len(xc), n_d))
+        for i in range(n_d):
+            denom_l = knots[i + d] - knots[i]
+            denom_r = knots[i + d + 1] - knots[i + 1]
+            if denom_l > 0:
+                new[:, i] += (xc - knots[i]) / denom_l * basis[:, i]
+            if denom_r > 0:
+                new[:, i] += (knots[i + d + 1] - xc) / denom_r * basis[:, i + 1]
+        basis = new
+
+    return basis[:, :n_bases]
+
+
+def difference_penalty(n_coefs: int, order: int = 2) -> np.ndarray:
+    """P-spline penalty ``D'D`` with ``order``-th differences ``D``.
+
+    Penalizes the squared ``order``-th finite differences of adjacent spline
+    coefficients — the discrete analogue of the integrated squared
+    ``order``-th derivative in the paper's GAM cost function.
+    """
+    if n_coefs < 1:
+        raise ValueError("n_coefs must be positive")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if n_coefs <= order:
+        return np.zeros((n_coefs, n_coefs))
+    d = np.diff(np.eye(n_coefs), n=order, axis=0)
+    return d.T @ d

@@ -1,0 +1,64 @@
+"""Response distributions for the GAM (normal and binomial).
+
+Each distribution provides the IRLS variance function, the deviance used
+for GCV, and whether the scale parameter is estimated or fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NormalDistribution", "BinomialDistribution", "get_distribution"]
+
+
+class NormalDistribution:
+    """Gaussian response; scale (sigma^2) estimated from residuals."""
+
+    name = "normal"
+    fixed_scale = None  # estimated
+
+    def variance(self, mu: np.ndarray) -> np.ndarray:
+        """V(mu) = 1 for the Gaussian."""
+        return np.ones_like(np.asarray(mu, dtype=np.float64))
+
+    def deviance(self, y: np.ndarray, mu: np.ndarray) -> float:
+        """Residual sum of squares."""
+        y = np.asarray(y, dtype=np.float64)
+        mu = np.asarray(mu, dtype=np.float64)
+        return float(np.sum((y - mu) ** 2))
+
+
+class BinomialDistribution:
+    """Bernoulli response; scale fixed at one."""
+
+    name = "binomial"
+    fixed_scale = 1.0
+
+    _EPS = 1e-10
+
+    def variance(self, mu: np.ndarray) -> np.ndarray:
+        """V(mu) = mu (1 - mu), floored away from zero."""
+        mu = np.clip(np.asarray(mu, dtype=np.float64), self._EPS, 1 - self._EPS)
+        return mu * (1.0 - mu)
+
+    def deviance(self, y: np.ndarray, mu: np.ndarray) -> float:
+        """Binomial deviance ``2 sum [y log(y/mu) + (1-y) log((1-y)/(1-mu))]``."""
+        y = np.asarray(y, dtype=np.float64)
+        mu = np.clip(np.asarray(mu, dtype=np.float64), self._EPS, 1 - self._EPS)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            term1 = np.where(y > 0, y * np.log(y / mu), 0.0)
+            term0 = np.where(y < 1, (1 - y) * np.log((1 - y) / (1 - mu)), 0.0)
+        return float(2.0 * np.sum(term1 + term0))
+
+
+_DISTS = {cls.name: cls for cls in (NormalDistribution, BinomialDistribution)}
+
+
+def get_distribution(name: str):
+    """Instantiate a response distribution by name."""
+    try:
+        return _DISTS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution '{name}'; available: {sorted(_DISTS)}"
+        ) from None

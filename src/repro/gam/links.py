@@ -1,0 +1,68 @@
+"""Link functions relating the additive predictor to the response mean.
+
+The paper uses the identity link for regression forests (normal response)
+and the logistic link for classification forests (binomial response).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IdentityLink", "LogitLink", "get_link"]
+
+
+class IdentityLink:
+    """``l(mu) = mu`` — regression."""
+
+    name = "identity"
+
+    def link(self, mu: np.ndarray) -> np.ndarray:
+        """Map the mean to the linear-predictor scale."""
+        return np.asarray(mu, dtype=np.float64)
+
+    def inverse(self, eta: np.ndarray) -> np.ndarray:
+        """Map the linear predictor back to the mean."""
+        return np.asarray(eta, dtype=np.float64)
+
+    def derivative(self, mu: np.ndarray) -> np.ndarray:
+        """``d eta / d mu`` evaluated at ``mu``."""
+        return np.ones_like(np.asarray(mu, dtype=np.float64))
+
+
+class LogitLink:
+    """``l(mu) = log(mu / (1 - mu))`` — binary classification."""
+
+    name = "logit"
+
+    _EPS = 1e-10
+
+    def link(self, mu: np.ndarray) -> np.ndarray:
+        """Log-odds of the (clipped) mean."""
+        mu = np.clip(np.asarray(mu, dtype=np.float64), self._EPS, 1 - self._EPS)
+        return np.log(mu / (1.0 - mu))
+
+    def inverse(self, eta: np.ndarray) -> np.ndarray:
+        """Numerically stable logistic function."""
+        eta = np.asarray(eta, dtype=np.float64)
+        out = np.empty_like(eta)
+        pos = eta >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-eta[pos]))
+        ez = np.exp(eta[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def derivative(self, mu: np.ndarray) -> np.ndarray:
+        """``d eta / d mu = 1 / (mu (1 - mu))``."""
+        mu = np.clip(np.asarray(mu, dtype=np.float64), self._EPS, 1 - self._EPS)
+        return 1.0 / (mu * (1.0 - mu))
+
+
+_LINKS = {cls.name: cls for cls in (IdentityLink, LogitLink)}
+
+
+def get_link(name: str):
+    """Instantiate a link function by name (``identity`` or ``logit``)."""
+    try:
+        return _LINKS[name]()
+    except KeyError:
+        raise ValueError(f"unknown link '{name}'; available: {sorted(_LINKS)}") from None

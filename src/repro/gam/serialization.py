@@ -1,0 +1,148 @@
+"""GAM serialization: fitted models to plain dicts and back.
+
+Lets a fitted explanation be archived or shipped (e.g. the certification
+authority files the surrogate alongside its report).  Terms serialize
+their fitted state (knots, centering means, factor levels) and the model
+serializes coefficients, the smoothing setup and the posterior covariance
+needed for credible intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import GAM
+from .terms import FactorTerm, InterceptTerm, LinearTerm, SplineTerm, TensorTerm
+
+__all__ = ["gam_to_dict", "gam_from_dict", "term_to_dict", "term_from_dict"]
+
+
+def term_to_dict(term) -> dict:
+    """Serialize one fitted term (type tag + parameters + fitted state)."""
+    if isinstance(term, InterceptTerm):
+        return {"type": "intercept"}
+    if isinstance(term, LinearTerm):
+        term._check_fitted()
+        return {
+            "type": "linear",
+            "feature": term.features[0],
+            "name": term.name,
+            "mean": term.mean_,
+        }
+    if isinstance(term, SplineTerm):
+        term._check_fitted()
+        return {
+            "type": "spline",
+            "feature": term.features[0],
+            "name": term.name,
+            "n_splines": term.n_splines,
+            "degree": term.degree,
+            "penalty_order": term.penalty_order,
+            "knots": term.knots_.tolist(),
+            "col_means": term.col_means_.tolist(),
+        }
+    if isinstance(term, FactorTerm):
+        term._check_fitted()
+        return {
+            "type": "factor",
+            "feature": term.features[0],
+            "name": term.name,
+            "levels": term.levels_.tolist(),
+            "col_means": term.col_means_.tolist(),
+        }
+    if isinstance(term, TensorTerm):
+        term._check_fitted()
+        return {
+            "type": "tensor",
+            "features": list(term.features),
+            "name": term.name,
+            "n_splines": term.n_splines,
+            "degree": term.degree,
+            "penalty_order": term.penalty_order,
+            "knots": [k.tolist() for k in term.knots_],
+            "col_means": term.col_means_.tolist(),
+        }
+    raise TypeError(f"cannot serialize term of type {type(term).__name__}")
+
+
+def term_from_dict(data: dict):
+    """Rebuild a fitted term from :func:`term_to_dict` output."""
+    kind = data["type"]
+    if kind == "intercept":
+        term = InterceptTerm()
+        term._fitted = True
+        return term
+    if kind == "linear":
+        term = LinearTerm(data["feature"], name=data["name"])
+        term.mean_ = float(data["mean"])
+        term._fitted = True
+        return term
+    if kind == "spline":
+        term = SplineTerm(
+            data["feature"],
+            n_splines=data["n_splines"],
+            degree=data["degree"],
+            penalty_order=data["penalty_order"],
+            name=data["name"],
+        )
+        term.knots_ = np.asarray(data["knots"], dtype=np.float64)
+        term.col_means_ = np.asarray(data["col_means"], dtype=np.float64)
+        term._fitted = True
+        return term
+    if kind == "factor":
+        term = FactorTerm(data["feature"], name=data["name"])
+        term.levels_ = np.asarray(data["levels"], dtype=np.float64)
+        term.col_means_ = np.asarray(data["col_means"], dtype=np.float64)
+        term._fitted = True
+        return term
+    if kind == "tensor":
+        f_i, f_j = data["features"]
+        term = TensorTerm(
+            f_i,
+            f_j,
+            n_splines=data["n_splines"],
+            degree=data["degree"],
+            penalty_order=data["penalty_order"],
+            name=data["name"],
+        )
+        term.knots_ = [np.asarray(k, dtype=np.float64) for k in data["knots"]]
+        term.col_means_ = np.asarray(data["col_means"], dtype=np.float64)
+        term._fitted = True
+        return term
+    raise ValueError(f"unknown term type {kind!r}")
+
+
+def gam_to_dict(gam: GAM) -> dict:
+    """Serialize a fitted GAM (terms, coefficients, statistics)."""
+    if gam.coef_ is None:
+        raise ValueError("GAM is not fitted")
+    lam = gam.lam
+    return {
+        "terms": [term_to_dict(t) for t in gam.terms],
+        "link": gam.link.name,
+        "distribution": gam.distribution.name,
+        "lam": lam if np.isscalar(lam) else np.asarray(lam).tolist(),
+        "coef": gam.coef_.tolist(),
+        "statistics": {
+            "edof": gam.statistics_["edof"],
+            "scale": gam.statistics_["scale"],
+            "deviance": gam.statistics_["deviance"],
+            "GCV": gam.statistics_["GCV"],
+            "n_samples": gam.statistics_["n_samples"],
+            "cov": gam.statistics_["cov"].tolist(),
+        },
+    }
+
+
+def gam_from_dict(data: dict) -> GAM:
+    """Rebuild a predict-capable fitted GAM from :func:`gam_to_dict`."""
+    terms = [term_from_dict(t) for t in data["terms"]]
+    lam = data["lam"]
+    if not np.isscalar(lam):
+        lam = np.asarray(lam, dtype=np.float64)
+    gam = GAM(terms, link=data["link"], distribution=data["distribution"], lam=lam)
+    gam.coef_ = np.asarray(data["coef"], dtype=np.float64)
+    stats = dict(data["statistics"])
+    stats["cov"] = np.asarray(stats["cov"], dtype=np.float64)
+    gam.statistics_ = stats
+    return gam

@@ -1,0 +1,304 @@
+"""GAM model terms: intercept, univariate splines, factors and tensors.
+
+A fitted GAM is a sum of *terms*, each contributing a block of columns to
+the design matrix and a block-diagonal piece of the penalty:
+
+* :class:`InterceptTerm` — the constant alpha;
+* :class:`SplineTerm` — third-order P-spline of one continuous feature
+  (GEF's univariate components);
+* :class:`FactorTerm` — one coefficient per level of a categorical feature
+  (GEF treats features with fewer than ``L`` thresholds as categorical);
+* :class:`TensorTerm` — penalized tensor product of two marginal spline
+  bases (GEF's bi-variate interaction components).
+
+All non-intercept terms are *centered*: their design columns have the
+training mean subtracted, which pins each component at zero mean (the
+paper's ``E[s_j(x_j)] = 0`` identifiability constraint) and leaves the
+constant to the intercept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bsplines import bspline_design, difference_penalty, uniform_knots
+
+__all__ = [
+    "Term",
+    "InterceptTerm",
+    "LinearTerm",
+    "SplineTerm",
+    "FactorTerm",
+    "TensorTerm",
+]
+
+
+class Term:
+    """Base class: a block of design columns plus its penalty matrix."""
+
+    #: indices of the raw features this term reads (empty for intercept)
+    features: tuple[int, ...] = ()
+
+    def fit(self, X: np.ndarray) -> "Term":
+        """Learn data-dependent pieces (domains, levels, centering means)."""
+        raise NotImplementedError
+
+    def design_for(self, values: np.ndarray) -> np.ndarray:
+        """Centered design block for raw values of this term's features.
+
+        ``values`` has shape ``(n, len(self.features))`` (or ``(n,)`` for a
+        single-feature term).
+        """
+        raise NotImplementedError
+
+    def design(self, X: np.ndarray) -> np.ndarray:
+        """Centered design block extracted from a full data matrix."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return self.design_for(X[:, list(self.features)])
+
+    def penalty(self) -> np.ndarray:
+        """Smoothness penalty for this term's coefficients (unscaled)."""
+        raise NotImplementedError
+
+    @property
+    def n_coefs(self) -> int:
+        """Number of coefficients this term contributes."""
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        """Human-readable term label used in explanation output."""
+        raise NotImplementedError
+
+    def _check_fitted(self) -> None:
+        if getattr(self, "_fitted", False) is not True:
+            raise RuntimeError(f"{type(self).__name__} must be fitted first")
+
+
+class InterceptTerm(Term):
+    """The constant term alpha (one unpenalized column of ones)."""
+
+    features = ()
+
+    def fit(self, X: np.ndarray) -> "InterceptTerm":
+        self._fitted = True
+        return self
+
+    def design(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.ones((X.shape[0], 1))
+
+    def design_for(self, values: np.ndarray) -> np.ndarray:
+        values = np.atleast_1d(values)
+        return np.ones((values.shape[0], 1))
+
+    def penalty(self) -> np.ndarray:
+        return np.zeros((1, 1))
+
+    @property
+    def n_coefs(self) -> int:
+        return 1
+
+    @property
+    def label(self) -> str:
+        return "intercept"
+
+
+class LinearTerm(Term):
+    """A single unpenalized linear coefficient for one feature.
+
+    The GLM building block the paper's section 3.1 contrasts with splines:
+    maximally interpretable (one weight) but unable to bend.  Useful when
+    the analyst knows a feature's effect is linear, or to build a pure-GLM
+    surrogate from the same term machinery.
+    """
+
+    def __init__(self, feature: int, name: str | None = None):
+        self.features = (int(feature),)
+        self.name = name
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "LinearTerm":
+        x = np.asarray(X, dtype=np.float64)[:, self.features[0]]
+        self.mean_ = float(x.mean())
+        self._fitted = True
+        return self
+
+    def design_for(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        return (values - self.mean_)[:, None]
+
+    def penalty(self) -> np.ndarray:
+        return np.zeros((1, 1))
+
+    @property
+    def n_coefs(self) -> int:
+        return 1
+
+    @property
+    def label(self) -> str:
+        return self.name or f"l(x{self.features[0]})"
+
+
+class SplineTerm(Term):
+    """Univariate P-spline: cubic B-splines + 2nd-order difference penalty."""
+
+    def __init__(
+        self,
+        feature: int,
+        n_splines: int = 12,
+        degree: int = 3,
+        penalty_order: int = 2,
+        name: str | None = None,
+    ):
+        if n_splines <= degree:
+            raise ValueError("n_splines must exceed the spline degree")
+        self.features = (int(feature),)
+        self.n_splines = n_splines
+        self.degree = degree
+        self.penalty_order = penalty_order
+        self.name = name
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "SplineTerm":
+        x = np.asarray(X, dtype=np.float64)[:, self.features[0]]
+        self.knots_ = uniform_knots(float(x.min()), float(x.max()), self.n_splines, self.degree)
+        raw = bspline_design(x, self.knots_, self.degree)
+        self.col_means_ = raw.mean(axis=0)
+        self._fitted = True
+        return self
+
+    def design_for(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        return bspline_design(values, self.knots_, self.degree) - self.col_means_
+
+    def penalty(self) -> np.ndarray:
+        return difference_penalty(self.n_splines, self.penalty_order)
+
+    @property
+    def n_coefs(self) -> int:
+        return self.n_splines
+
+    @property
+    def label(self) -> str:
+        return self.name or f"s(x{self.features[0]})"
+
+
+class FactorTerm(Term):
+    """Categorical feature: one (ridge-penalized) coefficient per level."""
+
+    def __init__(self, feature: int, name: str | None = None):
+        self.features = (int(feature),)
+        self.name = name
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "FactorTerm":
+        x = np.asarray(X, dtype=np.float64)[:, self.features[0]]
+        self.levels_ = np.unique(x)
+        if len(self.levels_) < 2:
+            raise ValueError(
+                f"factor feature {self.features[0]} has a single level; "
+                "a constant term is redundant with the intercept"
+            )
+        raw = self._one_hot(x)
+        self.col_means_ = raw.mean(axis=0)
+        self._fitted = True
+        return self
+
+    def _one_hot(self, x: np.ndarray) -> np.ndarray:
+        # Unseen levels produce an all-zero row: the term contributes only
+        # its centering offset, a sane fallback for out-of-vocabulary input.
+        idx = np.searchsorted(self.levels_, x)
+        idx = np.clip(idx, 0, len(self.levels_) - 1)
+        match = self.levels_[idx] == x
+        out = np.zeros((len(x), len(self.levels_)))
+        rows = np.nonzero(match)[0]
+        out[rows, idx[rows]] = 1.0
+        return out
+
+    def design_for(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        return self._one_hot(values) - self.col_means_
+
+    def penalty(self) -> np.ndarray:
+        # Ridge penalty keeps the (centered, hence rank-deficient) one-hot
+        # block identifiable, matching PyGAM's factor-term behaviour.
+        return np.eye(len(self.levels_))
+
+    @property
+    def n_coefs(self) -> int:
+        self._check_fitted()
+        return len(self.levels_)
+
+    @property
+    def label(self) -> str:
+        return self.name or f"f(x{self.features[0]})"
+
+
+class TensorTerm(Term):
+    """Penalized tensor product of two marginal spline bases.
+
+    The design is the row-wise Khatri–Rao product of the two univariate
+    B-spline designs, and the penalty is the standard additive tensor
+    penalty ``P_i (x) I + I (x) P_j``.
+    """
+
+    def __init__(
+        self,
+        feature_i: int,
+        feature_j: int,
+        n_splines: int = 7,
+        degree: int = 3,
+        penalty_order: int = 2,
+        name: str | None = None,
+    ):
+        if feature_i == feature_j:
+            raise ValueError("a tensor term needs two distinct features")
+        if n_splines <= degree:
+            raise ValueError("n_splines must exceed the spline degree")
+        self.features = (int(feature_i), int(feature_j))
+        self.n_splines = n_splines
+        self.degree = degree
+        self.penalty_order = penalty_order
+        self.name = name
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "TensorTerm":
+        X = np.asarray(X, dtype=np.float64)
+        self.knots_ = []
+        for f in self.features:
+            x = X[:, f]
+            self.knots_.append(
+                uniform_knots(float(x.min()), float(x.max()), self.n_splines, self.degree)
+            )
+        raw = self._raw_design(X[:, list(self.features)])
+        self.col_means_ = raw.mean(axis=0)
+        self._fitted = True
+        return self
+
+    def _raw_design(self, values: np.ndarray) -> np.ndarray:
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        b_i = bspline_design(values[:, 0], self.knots_[0], self.degree)
+        b_j = bspline_design(values[:, 1], self.knots_[1], self.degree)
+        # Row-wise outer product, flattened: column (a, b) -> a * n + b.
+        return np.einsum("na,nb->nab", b_i, b_j).reshape(len(values), -1)
+
+    def design_for(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self._raw_design(values) - self.col_means_
+
+    def penalty(self) -> np.ndarray:
+        p = difference_penalty(self.n_splines, self.penalty_order)
+        eye = np.eye(self.n_splines)
+        return np.kron(p, eye) + np.kron(eye, p)
+
+    @property
+    def n_coefs(self) -> int:
+        return self.n_splines**2
+
+    @property
+    def label(self) -> str:
+        return self.name or f"te(x{self.features[0]},x{self.features[1]})"

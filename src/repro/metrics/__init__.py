@@ -1,0 +1,20 @@
+"""Evaluation metrics: regression/classification fidelity, ranking, stats."""
+
+from .classification import accuracy, log_loss, roc_auc
+from .ranking import average_precision, precision_at_k
+from .regression import mae, r2_score, rmse
+from .stats import WelchResult, gaussian_kde_1d, welch_ttest
+
+__all__ = [
+    "WelchResult",
+    "accuracy",
+    "average_precision",
+    "log_loss",
+    "roc_auc",
+    "gaussian_kde_1d",
+    "mae",
+    "precision_at_k",
+    "r2_score",
+    "rmse",
+    "welch_ttest",
+]

@@ -1,0 +1,69 @@
+"""Classification metrics for the Census experiments.
+
+Accuracy, binary log-loss, and ROC-AUC (via the rank statistic), used to
+validate the classification forests and their logistic-GAM surrogates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "log_loss", "roc_auc"]
+
+
+def _validate_binary(y_true: np.ndarray) -> np.ndarray:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    labels = np.unique(y_true)
+    if not np.all(np.isin(labels, (0.0, 1.0))):
+        raise ValueError(f"binary labels must be 0/1, got {labels}")
+    return y_true
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    if y_true.size == 0:
+        raise ValueError("empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def log_loss(y_true: np.ndarray, proba: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean binary cross-entropy of predicted probabilities."""
+    y_true = _validate_binary(y_true)
+    proba = np.clip(np.asarray(proba, dtype=np.float64).ravel(), eps, 1 - eps)
+    if y_true.shape != proba.shape:
+        raise ValueError("shape mismatch")
+    return float(-np.mean(y_true * np.log(proba) + (1 - y_true) * np.log(1 - proba)))
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney rank statistic.
+
+    Equals the probability that a random positive outranks a random
+    negative; ties contribute one half.
+    """
+    y_true = _validate_binary(y_true)
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError("shape mismatch")
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC AUC needs both classes present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores))
+    sorted_scores = scores[order]
+    # Average ranks over tied groups (mid-rank method).
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true == 1].sum())
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)

@@ -1,0 +1,45 @@
+"""Ranking metrics: Average Precision for interaction-detection quality.
+
+The paper borrows AP from ranking evaluation to score how well each
+interaction-detection heuristic ranks the truly injected feature pairs
+above the spurious ones (Table 1 / Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["average_precision", "precision_at_k"]
+
+
+def average_precision(relevant: np.ndarray, scores: np.ndarray) -> float:
+    """AP of a ranking induced by ``scores`` over binary relevance labels.
+
+    ``AP = (1/R) * sum_k Prec@k * rel_k`` where the sum runs over the
+    ranking positions and ``R`` is the number of relevant items.  Ties in
+    ``scores`` are broken by original index (stable sort on the negated
+    scores), matching the deterministic behaviour of ``np.argsort``.
+    """
+    relevant = np.asarray(relevant, dtype=bool).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if relevant.shape != scores.shape:
+        raise ValueError("relevant and scores must have the same shape")
+    n_rel = int(relevant.sum())
+    if n_rel == 0:
+        raise ValueError("average precision undefined with no relevant items")
+    order = np.argsort(-scores, kind="stable")
+    rel_sorted = relevant[order]
+    hits = np.cumsum(rel_sorted)
+    ranks = np.arange(1, len(rel_sorted) + 1)
+    precisions = hits / ranks
+    return float(precisions[rel_sorted].sum() / n_rel)
+
+
+def precision_at_k(relevant: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """Fraction of relevant items among the top ``k`` by score."""
+    relevant = np.asarray(relevant, dtype=bool).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if not 1 <= k <= len(scores):
+        raise ValueError(f"k must be in [1, {len(scores)}]")
+    order = np.argsort(-scores, kind="stable")[:k]
+    return float(relevant[order].mean())

@@ -1,0 +1,22 @@
+"""Text-mode visualization and CSV export of reproduced figures."""
+
+from .ascii import (
+    bar_chart,
+    heatmap,
+    line_chart,
+    multi_line_chart,
+    rug,
+    scatter_chart,
+)
+from .export import export_series, export_table
+
+__all__ = [
+    "bar_chart",
+    "export_series",
+    "export_table",
+    "heatmap",
+    "line_chart",
+    "multi_line_chart",
+    "rug",
+    "scatter_chart",
+]

@@ -1,0 +1,49 @@
+"""CSV export of figure series (the quantitative content of each figure)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["export_series", "export_table"]
+
+
+def export_series(
+    path: str | Path,
+    columns: dict[str, np.ndarray],
+) -> Path:
+    """Write named, aligned 1-D series as a CSV file; returns the path."""
+    if not columns:
+        raise ValueError("no columns to export")
+    arrays = {k: np.asarray(v).ravel() for k, v in columns.items()}
+    lengths = {len(v) for v in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"column length mismatch: { {k: len(v) for k, v in arrays.items()} }")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(arrays.keys())
+        for row in zip(*arrays.values()):
+            writer.writerow([f"{v}" for v in row])
+    return path
+
+
+def export_table(
+    path: str | Path,
+    header: list[str],
+    rows: list[list],
+) -> Path:
+    """Write an arbitrary table (header plus rows) as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        for row in rows:
+            if len(row) != len(header):
+                raise ValueError("row width does not match header")
+            writer.writerow(row)
+    return path

@@ -1,0 +1,34 @@
+"""Baseline explainers and interaction statistics (SHAP/LIME stand-ins)."""
+
+from .hstat import h_statistic, h_statistic_matrix
+from .lime import LimeExplanation, LimeTabularExplainer
+from .pdp import ice_curves, partial_dependence_1d, partial_dependence_2d, pd_at_points
+from .permutation import permutation_importance
+from .shap_global import ShapGlobalExplainer, ShapGlobalExplanation
+from .surrogates import LinearSurrogate, TreeSurrogate
+from .treeshap import (
+    TreeShapExplainer,
+    expected_tree_value,
+    tree_shap_interaction_values,
+    tree_shap_values,
+)
+
+__all__ = [
+    "LimeExplanation",
+    "LimeTabularExplainer",
+    "LinearSurrogate",
+    "ShapGlobalExplainer",
+    "TreeSurrogate",
+    "ShapGlobalExplanation",
+    "TreeShapExplainer",
+    "expected_tree_value",
+    "h_statistic",
+    "h_statistic_matrix",
+    "ice_curves",
+    "partial_dependence_1d",
+    "partial_dependence_2d",
+    "pd_at_points",
+    "permutation_importance",
+    "tree_shap_interaction_values",
+    "tree_shap_values",
+]

@@ -1,0 +1,154 @@
+"""LIME for tabular data (local ridge-regression surrogates).
+
+Reproduces the default pipeline of Ribeiro et al.'s reference
+implementation, which the paper uses as its second baseline: perturb the
+instance with Gaussian noise matched to the training distribution, weight
+the perturbations by an exponential kernel on standardized distance, and
+fit a weighted ridge regression whose coefficients are the explanation.
+
+(The reference package additionally quartile-discretizes features by
+default; we explain on the raw continuous features, which the package also
+supports via ``discretize_continuous=False``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LimeTabularExplainer", "LimeExplanation"]
+
+
+@dataclass
+class LimeExplanation:
+    """Local surrogate for one instance: standardized ridge coefficients."""
+
+    feature_indices: np.ndarray  # features sorted by |coefficient|, descending
+    coefficients: np.ndarray  # matching ridge coefficients
+    intercept: float
+    local_prediction: float  # surrogate output at the instance
+    model_prediction: float  # black-box output at the instance
+    score: float  # weighted R^2 of the surrogate on the perturbations
+
+    def as_list(self, top_k: int | None = None) -> list[tuple[int, float]]:
+        """(feature, weight) pairs, most influential first."""
+        k = len(self.feature_indices) if top_k is None else top_k
+        return [
+            (int(f), float(c))
+            for f, c in zip(self.feature_indices[:k], self.coefficients[:k])
+        ]
+
+
+class LimeTabularExplainer:
+    """LIME explainer with Gaussian sampling and an exponential kernel.
+
+    Parameters
+    ----------
+    training_data:
+        Background data defining feature means/scales (LIME, unlike GEF,
+        requires access to data from the training distribution).
+    kernel_width:
+        Defaults to ``sqrt(n_features) * 0.75``, the reference default.
+    """
+
+    def __init__(
+        self,
+        training_data: np.ndarray,
+        kernel_width: float | None = None,
+        ridge_alpha: float = 1.0,
+        random_state: int | None = None,
+    ):
+        training_data = np.atleast_2d(np.asarray(training_data, dtype=np.float64))
+        if training_data.shape[0] < 2:
+            raise ValueError("training_data needs at least two rows")
+        self.means_ = training_data.mean(axis=0)
+        self.scales_ = training_data.std(axis=0)
+        self.scales_[self.scales_ == 0] = 1.0
+        self.n_features = training_data.shape[1]
+        if kernel_width is None:
+            kernel_width = np.sqrt(self.n_features) * 0.75
+        if kernel_width <= 0:
+            raise ValueError("kernel_width must be positive")
+        self.kernel_width = float(kernel_width)
+        self.ridge_alpha = float(ridge_alpha)
+        self.random_state = random_state
+
+    def explain_instance(
+        self,
+        x: np.ndarray,
+        predict_fn,
+        num_samples: int = 5000,
+        num_features: int | None = None,
+    ) -> LimeExplanation:
+        """Fit the local ridge surrogate around ``x``.
+
+        ``predict_fn`` maps a batch of raw rows to scalar outputs (use the
+        probability for classifiers, as the reference implementation does).
+        """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if len(x) != self.n_features:
+            raise ValueError(
+                f"x has {len(x)} features, explainer expects {self.n_features}"
+            )
+        if num_samples < 10:
+            raise ValueError("num_samples must be >= 10")
+        rng = np.random.default_rng(self.random_state)
+
+        # Gaussian perturbations in standardized space, then de-standardize
+        # around the instance (LIME's sample_around_instance mode).
+        noise = rng.standard_normal((num_samples, self.n_features))
+        noise[0] = 0.0  # first sample is the instance itself
+        Z = x[None, :] + noise * self.scales_[None, :]
+        y = np.asarray(predict_fn(Z), dtype=np.float64).ravel()
+
+        # Exponential kernel on standardized euclidean distance.
+        d = np.sqrt(np.sum(noise**2, axis=1))
+        weights = np.exp(-(d**2) / self.kernel_width**2)
+
+        # Weighted ridge on standardized features so that coefficient
+        # magnitudes are comparable across features.
+        Zs = (Z - self.means_[None, :]) / self.scales_[None, :]
+        coef, intercept = self._weighted_ridge(Zs, y, weights)
+
+        xs = (x - self.means_) / self.scales_
+        local_pred = float(xs @ coef + intercept)
+        y_hat = Zs @ coef + intercept
+        score = self._weighted_r2(y, y_hat, weights)
+
+        order = np.argsort(-np.abs(coef))
+        if num_features is not None:
+            order = order[:num_features]
+        return LimeExplanation(
+            feature_indices=order,
+            coefficients=coef[order],
+            intercept=float(intercept),
+            local_prediction=local_pred,
+            model_prediction=float(y[0]),
+            score=score,
+        )
+
+    def _weighted_ridge(
+        self, Z: np.ndarray, y: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        # Center by the weighted means so the intercept is unpenalized.
+        w_sum = w.sum()
+        z_mean = (w[:, None] * Z).sum(axis=0) / w_sum
+        y_mean = float((w * y).sum() / w_sum)
+        Zc = Z - z_mean
+        yc = y - y_mean
+        a = (Zc * w[:, None]).T @ Zc
+        a[np.diag_indices_from(a)] += self.ridge_alpha
+        b = (Zc * w[:, None]).T @ yc
+        coef = np.linalg.solve(a, b)
+        intercept = y_mean - float(z_mean @ coef)
+        return coef, intercept
+
+    @staticmethod
+    def _weighted_r2(y: np.ndarray, y_hat: np.ndarray, w: np.ndarray) -> float:
+        y_bar = float((w * y).sum() / w.sum())
+        sse = float((w * (y - y_hat) ** 2).sum())
+        sst = float((w * (y - y_bar) ** 2).sum())
+        if sst == 0.0:
+            return 1.0 if sse == 0.0 else 0.0
+        return 1.0 - sse / sst

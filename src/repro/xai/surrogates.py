@@ -1,0 +1,140 @@
+"""Alternative global surrogates: linear models and single decision trees.
+
+The paper's section 3.1 weighs GAMs against simpler surrogate families —
+"also models that are less general can be used, such as Generalized Linear
+Model or even a simple linear regression" — noting that a linear model is
+*more* interpretable but far less flexible (it cannot approximate the
+sinusoid of the toy example).  Related work additionally summarizes
+forests with a single decision tree (tree-prototyping).
+
+Both baselines are implemented here so the trade-off can be measured:
+fit them on the same synthetic dataset D* that GEF uses and compare
+fidelity against the GEF GAM (see ``benchmarks/test_baseline_surrogates``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..forest.binning import BinMapper
+from ..forest.grower import TreeGrowerParams, grow_tree
+from ..forest.tree import Tree
+
+__all__ = ["LinearSurrogate", "TreeSurrogate"]
+
+
+class LinearSurrogate:
+    """Ordinary (ridge-stabilized) linear regression surrogate.
+
+    The maximally interpretable baseline: one weight per feature.  Fit on
+    standardized features so that coefficient magnitudes are comparable;
+    predictions are returned on the original scale.
+    """
+
+    def __init__(self, ridge: float = 1e-8):
+        if ridge < 0:
+            raise ValueError("ridge must be >= 0")
+        self.ridge = ridge
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self._means: np.ndarray | None = None
+        self._scales: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSurrogate":
+        """Least-squares fit of ``y ~ X`` with a tiny ridge for stability."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        self._means = X.mean(axis=0)
+        self._scales = X.std(axis=0)
+        self._scales[self._scales == 0] = 1.0
+        Z = (X - self._means) / self._scales
+        a = Z.T @ Z
+        a[np.diag_indices_from(a)] += self.ridge
+        b = Z.T @ (y - y.mean())
+        beta = np.linalg.solve(a, b)
+        self.coef_ = beta / self._scales  # back to the original scale
+        self.intercept_ = float(y.mean() - self._means @ self.coef_)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Linear prediction on raw features."""
+        if self.coef_ is None:
+            raise RuntimeError("surrogate is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return X @ self.coef_ + self.intercept_
+
+    def explanation(self, feature_names: list[str] | None = None) -> list[tuple[str, float]]:
+        """(feature, weight) pairs sorted by |standardized weight|."""
+        if self.coef_ is None:
+            raise RuntimeError("surrogate is not fitted")
+        standardized = self.coef_ * self._scales
+        order = np.argsort(-np.abs(standardized))
+        out = []
+        for f in order:
+            name = feature_names[f] if feature_names else f"x{f}"
+            out.append((name, float(self.coef_[f])))
+        return out
+
+
+class TreeSurrogate:
+    """Single-CART surrogate (the tree-prototyping baseline).
+
+    Distills the forest into one shallow regression tree grown on D* —
+    interpretable as a flow chart, but with the usual axis-aligned
+    step-function limits that GAM splines do not have.
+    """
+
+    def __init__(
+        self,
+        num_leaves: int = 16,
+        max_depth: int = -1,
+        min_samples_leaf: int = 20,
+    ):
+        self.num_leaves = num_leaves
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.tree_: Tree | None = None
+        self._mapper: BinMapper | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "TreeSurrogate":
+        """Grow one CART tree on (X, y) via the shared histogram grower."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        mapper = BinMapper()
+        binned = mapper.fit_transform(X)
+        params = TreeGrowerParams(
+            num_leaves=self.num_leaves,
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            min_child_weight=0.0,
+            reg_lambda=0.0,
+        )
+        # grad = -y, hess = 1: Newton leaves are in-leaf means (CART).
+        self.tree_ = grow_tree(binned, -y, np.ones(len(y)), mapper, params)
+        self._mapper = mapper
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Tree prediction on raw features."""
+        if self.tree_ is None:
+            raise RuntimeError("surrogate is not fitted")
+        return self.tree_.predict(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+
+    def explanation(self, feature_names: list[str] | None = None) -> str:
+        """The whole surrogate as an indented decision-rule text."""
+        if self.tree_ is None:
+            raise RuntimeError("surrogate is not fitted")
+        from ..forest.text_dump import dump_tree
+
+        return dump_tree(self.tree_, feature_names=feature_names)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of rules (leaves) in the surrogate."""
+        if self.tree_ is None:
+            raise RuntimeError("surrogate is not fitted")
+        return self.tree_.n_leaves

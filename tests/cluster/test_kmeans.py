@@ -1,0 +1,102 @@
+"""Tests for the k-means implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import KMeans, kmeans_1d_centroids
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 5.0]])
+        X = np.vstack([c + rng.normal(0, 0.3, (50, 2)) for c in centers])
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        found = km.cluster_centers_[np.argsort(km.cluster_centers_[:, 0])]
+        expected = centers[np.argsort(centers[:, 0])]
+        np.testing.assert_allclose(found, expected, atol=0.3)
+
+    def test_labels_match_nearest_center(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        km = KMeans(n_clusters=4, random_state=0).fit(X)
+        d2 = ((X[:, None, :] - km.cluster_centers_[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(km.labels_, np.argmin(d2, axis=1))
+
+    def test_predict_consistent_with_fit_labels(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(80, 3))
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        np.testing.assert_array_equal(km.predict(X), km.labels_)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 2))
+        inertias = [
+            KMeans(n_clusters=k, random_state=0).fit(X).inertia_ for k in (2, 5, 10)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(60, 2))
+        a = KMeans(n_clusters=3, random_state=11).fit(X).cluster_centers_
+        b = KMeans(n_clusters=3, random_state=11).fit(X).cluster_centers_
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_invalid_n_clusters(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((3, 2)))
+
+    def test_duplicate_points(self):
+        """All-identical data collapses but must not crash."""
+        X = np.ones((20, 2))
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0)
+
+
+class TestKmeans1d:
+    def test_sorted_output(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=300)
+        centroids = kmeans_1d_centroids(values, 8, random_state=0)
+        assert np.all(np.diff(centroids) > 0)
+
+    def test_shrinks_k_for_few_distinct(self):
+        """The paper's rule: k = min(|V_i|, K)."""
+        values = np.array([1.0, 1.0, 2.0, 3.0, 3.0])
+        centroids = kmeans_1d_centroids(values, 10)
+        np.testing.assert_allclose(centroids, [1.0, 2.0, 3.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_1d_centroids(np.array([]), 3)
+
+    def test_bimodal_density(self):
+        """Centroids should concentrate where the data mass is."""
+        rng = np.random.default_rng(1)
+        values = np.concatenate(
+            [rng.normal(0, 0.1, 450), rng.normal(10, 0.1, 50)]
+        )
+        centroids = kmeans_1d_centroids(values, 10, random_state=0)
+        near_zero = np.sum(np.abs(centroids) < 1)
+        near_ten = np.sum(np.abs(centroids - 10) < 1)
+        assert near_zero > near_ten
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=60), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_centroids_within_data_range(self, values, k):
+        values = np.asarray(values)
+        centroids = kmeans_1d_centroids(values, k, random_state=0)
+        assert centroids.min() >= values.min() - 1e-9
+        assert centroids.max() <= values.max() + 1e-9

@@ -1,0 +1,54 @@
+"""Tests for GEFConfig validation."""
+
+import pytest
+
+from repro.core import GEFConfig
+
+
+class TestGEFConfig:
+    def test_defaults_valid(self):
+        cfg = GEFConfig()
+        assert cfg.sampling_strategy == "equi-size"
+        assert cfg.interaction_strategy == "gain-path"
+        assert cfg.categorical_threshold == 10  # the paper's L
+
+    def test_unknown_sampling_strategy(self):
+        with pytest.raises(ValueError, match="sampling strategy"):
+            GEFConfig(sampling_strategy="stratified")
+
+    def test_unknown_interaction_strategy(self):
+        with pytest.raises(ValueError, match="interaction strategy"):
+            GEFConfig(interaction_strategy="anova")
+
+    def test_n_univariate_bounds(self):
+        with pytest.raises(ValueError):
+            GEFConfig(n_univariate=0)
+        assert GEFConfig(n_univariate=None).n_univariate is None
+
+    def test_n_interactions_bounds(self):
+        with pytest.raises(ValueError):
+            GEFConfig(n_interactions=-1)
+
+    def test_k_points_bounds(self):
+        with pytest.raises(ValueError):
+            GEFConfig(k_points=1)
+
+    def test_n_samples_bounds(self):
+        with pytest.raises(ValueError):
+            GEFConfig(n_samples=5)
+
+    def test_test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            GEFConfig(test_fraction=0.0)
+        with pytest.raises(ValueError):
+            GEFConfig(test_fraction=1.0)
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ValueError):
+            GEFConfig(epsilon_fraction=-0.1)
+
+    def test_label_values(self):
+        with pytest.raises(ValueError):
+            GEFConfig(label="logit")
+        for ok in ("auto", "raw", "probability"):
+            assert GEFConfig(label=ok).label == ok

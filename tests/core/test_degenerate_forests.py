@@ -1,0 +1,93 @@
+"""GEF on degenerate forests: the pipeline must stay robust."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEF
+from repro.forest import GradientBoostingRegressor
+
+
+class TestDegenerateForests:
+    def test_single_tree_forest(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (500, 3))
+        y = np.where(X[:, 0] > 0.5, 1.0, -1.0)
+        forest = GradientBoostingRegressor(
+            n_estimators=1, num_leaves=4, learning_rate=1.0, random_state=0
+        )
+        forest.fit(X, y)
+        explanation = GEF(n_samples=1000, random_state=0).explain(forest)
+        # A single tree with few splits: GEF still produces a surrogate.
+        assert explanation.fidelity["r2"] > 0.8
+
+    def test_stump_forest(self):
+        """Every tree a single split on the same feature."""
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (600, 2))
+        y = (X[:, 0] > 0.5).astype(float) * 3
+        forest = GradientBoostingRegressor(
+            n_estimators=10, num_leaves=2, learning_rate=0.5, random_state=0
+        )
+        forest.fit(X, y)
+        explanation = GEF(n_samples=1000, random_state=0).explain(forest)
+        # The step feature dominates the gain ranking; with so few distinct
+        # thresholds (< L=10) it is modeled as a factor term.
+        assert explanation.features[0] == 0
+        from repro.gam import FactorTerm
+
+        assert isinstance(explanation.gam.terms[1], FactorTerm)
+
+    def test_constant_target_forest_rejected_gracefully(self):
+        """A forest with no splits has nothing to explain."""
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, (200, 2))
+        forest = GradientBoostingRegressor(n_estimators=3, random_state=0)
+        forest.fit(X, np.full(200, 5.0))
+        with pytest.raises(ValueError, match="no splits"):
+            GEF(n_samples=500).explain(forest)
+
+    def test_one_feature_forest(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, (800, 1))
+        y = np.sin(6 * X[:, 0])
+        forest = GradientBoostingRegressor(
+            n_estimators=30, num_leaves=8, learning_rate=0.3, random_state=0
+        )
+        forest.fit(X, y)
+        explanation = GEF(
+            n_samples=2000, n_splines=10, random_state=0
+        ).explain(forest)
+        assert explanation.fidelity["r2"] > 0.9
+
+    def test_requesting_more_features_than_used(self, small_forest):
+        """n_univariate beyond the used-feature count just keeps them all."""
+        explanation = GEF(
+            n_univariate=50, n_samples=1000, random_state=0
+        ).explain(small_forest)
+        assert len(explanation.features) == 5
+
+    def test_requesting_more_interactions_than_pairs(self, small_forest):
+        explanation = GEF(
+            n_univariate=2,
+            n_interactions=10,  # only C(2,2)=1 pair exists
+            n_samples=1000,
+            random_state=0,
+        ).explain(small_forest)
+        assert len(explanation.pairs) == 1
+
+
+class TestNanValidation:
+    def test_forest_rejects_nan(self):
+        X = np.zeros((10, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            GradientBoostingRegressor(n_estimators=2).fit(X, np.zeros(10))
+
+    def test_gam_rejects_nan(self):
+        from repro.gam import GAM, SplineTerm
+
+        X = np.random.default_rng(0).uniform(size=(50, 1))
+        y = X[:, 0].copy()
+        y[3] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            GAM([SplineTerm(0, 6)]).fit(X, y)

@@ -1,0 +1,117 @@
+"""Tests for the explanation objects (global curves, local break-downs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEF
+
+
+@pytest.fixture(scope="module")
+def explanation(interaction_forest):
+    # All-Thresholds sampling (gap-free domains) and 14 splines: enough
+    # basis resolution for the ~3 periods of sin(20x) in the generator.
+    gef = GEF(
+        n_univariate=5,
+        n_interactions=1,
+        sampling_strategy="all-thresholds",
+        n_samples=8000,
+        n_splines=14,
+        random_state=0,
+    )
+    return gef.explain(interaction_forest)
+
+
+class TestGlobalExplanation:
+    def test_one_curve_per_component(self, explanation):
+        curves = explanation.global_explanation(n_points=40)
+        assert len(curves) == 6  # 5 splines + 1 tensor
+
+    def test_sorted_by_importance(self, explanation):
+        curves = explanation.global_explanation(n_points=40)
+        imps = [c.importance for c in curves]
+        assert imps == sorted(imps, reverse=True)
+
+    def test_intervals_bracket_estimate(self, explanation):
+        for curve in explanation.global_explanation(n_points=25):
+            assert np.all(curve.intervals[:, 0] <= curve.contribution + 1e-12)
+            assert np.all(curve.contribution <= curve.intervals[:, 1] + 1e-12)
+
+    def test_tensor_grid_is_2d(self, explanation):
+        curves = explanation.global_explanation(n_points=10)
+        tensor = next(c for c in curves if len(c.features) == 2)
+        assert tensor.grid.shape == (100, 2)
+        assert tensor.contribution.shape == (100,)
+
+    def test_univariate_grid_spans_domain(self, explanation):
+        curves = explanation.global_explanation(n_points=30)
+        uni = next(c for c in curves if len(c.features) == 1)
+        domain = explanation.dataset.domains[uni.features[0]]
+        assert uni.grid.min() == pytest.approx(domain.min())
+        assert uni.grid.max() == pytest.approx(domain.max())
+
+    def test_sine_component_recovered(self, explanation):
+        """The s(x1) spline must resemble sin(20 x) from the generator."""
+        curves = explanation.global_explanation(n_points=60)
+        s1 = next(c for c in curves if c.features == (1,))
+        inside = (s1.grid > 0.1) & (s1.grid < 0.9)
+        truth = np.sin(20 * s1.grid[inside])
+        fitted = s1.contribution[inside]
+        corr = np.corrcoef(truth - truth.mean(), fitted - fitted.mean())[0, 1]
+        assert corr > 0.9
+
+
+class TestLocalExplanation:
+    def test_contributions_sum_to_eta(self, explanation):
+        x = np.full(5, 0.45)
+        local = explanation.local_explanation(x)
+        total = local.intercept + sum(c.contribution for c in local.contributions)
+        assert local.eta == pytest.approx(total)
+
+    def test_prediction_matches_gam(self, explanation):
+        x = np.full(5, 0.3)
+        local = explanation.local_explanation(x)
+        assert local.prediction == pytest.approx(
+            float(explanation.predict(x[None, :])[0]), abs=1e-8
+        )
+
+    def test_sorted_by_magnitude(self, explanation):
+        local = explanation.local_explanation(np.full(5, 0.7))
+        mags = [abs(c.contribution) for c in local.contributions]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_spline_windows_attached(self, explanation):
+        local = explanation.local_explanation(np.full(5, 0.5))
+        spline_contribs = [c for c in local.contributions if len(c.features) == 1]
+        for c in spline_contribs:
+            assert c.window_grid is not None
+            assert len(c.window_grid) == len(c.window_contribution)
+            # Window is centered on the instance's value.
+            mid = c.window_grid[len(c.window_grid) // 2]
+            assert mid == pytest.approx(c.value[0], abs=1e-10)
+
+    def test_window_shows_local_variation(self, explanation):
+        """The x2 sigmoid jumps at 0.5: the window must show the jump."""
+        x = np.full(5, 0.5)
+        local = explanation.local_explanation(x, window_fraction=0.2)
+        c2 = next(c for c in local.contributions if c.features == (2,))
+        window_range = c2.window_contribution.max() - c2.window_contribution.min()
+        assert window_range > 0.4
+
+    def test_as_list(self, explanation):
+        local = explanation.local_explanation(np.full(5, 0.2))
+        pairs = local.as_list()
+        assert len(pairs) == 6
+        assert all(isinstance(lab, str) for lab, _ in pairs)
+
+
+class TestLabels:
+    def test_feature_label_fallback(self, explanation):
+        assert explanation.feature_label(3) == "x3"
+
+    def test_feature_label_named(self, small_forest):
+        gef = GEF(n_univariate=2, n_samples=1000, random_state=0)
+        names = ["alpha", "beta", "gamma", "delta", "eps"]
+        expl = gef.explain(small_forest, feature_names=names)
+        assert expl.feature_label(0) == "alpha"
+        curves = expl.global_explanation(n_points=10)
+        assert any("alpha" in c.label or "beta" in c.label for c in curves)

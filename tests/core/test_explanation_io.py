@@ -1,0 +1,60 @@
+"""Tests for explanation persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEF, load_explanation, save_explanation
+
+
+@pytest.fixture(scope="module")
+def explanation(interaction_forest):
+    gef = GEF(
+        n_univariate=5,
+        n_interactions=1,
+        sampling_strategy="all-thresholds",
+        n_samples=4000,
+        n_splines=12,
+        random_state=0,
+    )
+    return gef.explain(interaction_forest)
+
+
+@pytest.fixture(scope="module")
+def loaded(explanation, tmp_path_factory):
+    path = tmp_path_factory.mktemp("expl") / "explanation.json"
+    save_explanation(explanation, path)
+    return load_explanation(path)
+
+
+class TestExplanationPersistence:
+    def test_predictions_identical(self, explanation, loaded):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (100, 5))
+        np.testing.assert_allclose(
+            explanation.predict(X), loaded.predict(X), atol=1e-12
+        )
+
+    def test_metadata_preserved(self, explanation, loaded):
+        assert loaded.features == explanation.features
+        assert loaded.pairs == explanation.pairs
+        assert loaded.fidelity == pytest.approx(explanation.fidelity)
+        assert loaded.config.sampling_strategy == "all-thresholds"
+
+    def test_global_explanation_works_after_load(self, explanation, loaded):
+        a = explanation.global_explanation(n_points=20)
+        b = loaded.global_explanation(n_points=20)
+        assert [c.label for c in a] == [c.label for c in b]
+        for ca, cb in zip(a, b):
+            np.testing.assert_allclose(ca.contribution, cb.contribution, atol=1e-10)
+
+    def test_local_explanation_works_after_load(self, loaded):
+        local = loaded.local_explanation(np.full(5, 0.5))
+        assert len(local.contributions) == 6
+        assert np.isfinite(local.prediction)
+
+    def test_dataset_sample_capped(self, loaded):
+        assert len(loaded.dataset.X_train) <= 2048
+        assert len(loaded.dataset.X_test) <= 1024
+
+    def test_summary_after_load(self, loaded):
+        assert "|F'| = 5" in loaded.summary()

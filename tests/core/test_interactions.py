@@ -1,0 +1,178 @@
+"""Tests for the four interaction-detection heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    candidate_pairs,
+    count_path_scores,
+    gain_path_scores,
+    pair_gain_scores,
+    rank_interactions,
+    select_interactions,
+)
+from repro.forest import LEAF, Tree
+
+
+def chain_tree():
+    """Root on f0, left child on f1, that child's left on f2; gains 5/3/1."""
+    return Tree(
+        feature=np.array([0, 1, LEAF, 2, LEAF, LEAF, LEAF], dtype=np.int32),
+        threshold=np.array([0.5, 0.5, 0.0, 0.5, 0.0, 0.0, 0.0]),
+        left=np.array([1, 3, -1, 5, -1, -1, -1], dtype=np.int32),
+        right=np.array([2, 4, -1, 6, -1, -1, -1], dtype=np.int32),
+        value=np.zeros(7),
+        gain=np.array([5.0, 3.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
+        n_samples=np.array([8, 6, 2, 4, 2, 2, 2], dtype=np.int64),
+    )
+
+
+class FakeForest:
+    """Minimal forest protocol wrapper for handcrafted trees."""
+
+    def __init__(self, trees, n_features):
+        self.trees_ = trees
+        self.n_features_ = n_features
+        self.init_score_ = 0.0
+
+    def predict_raw(self, X):
+        X = np.atleast_2d(X)
+        out = np.zeros(len(X))
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out
+
+
+class TestCandidatePairs:
+    def test_all_unordered_pairs(self):
+        assert candidate_pairs([0, 1, 2]) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_heredity_restriction(self):
+        # Only features in F' can appear in a pair.
+        pairs = candidate_pairs([3, 1])
+        assert pairs == [(1, 3)]
+
+    def test_degenerate(self):
+        assert candidate_pairs([2]) == []
+        assert candidate_pairs([]) == []
+
+    def test_duplicates_ignored(self):
+        assert candidate_pairs([1, 1, 2]) == [(1, 2)]
+
+
+class TestCountPath:
+    def test_chain_tree_counts(self):
+        """f0 is ancestor of f1 and f2; f1 is ancestor of f2."""
+        forest = FakeForest([chain_tree()], 3)
+        scores = count_path_scores(forest, [0, 1, 2])
+        assert scores[(0, 1)] == 1.0
+        assert scores[(0, 2)] == 1.0
+        assert scores[(1, 2)] == 1.0
+
+    def test_repeated_descendant_counted_twice(self):
+        """A feature appearing twice below the root counts twice."""
+        tree = Tree(
+            feature=np.array([0, 1, 1, LEAF, LEAF, LEAF, LEAF], dtype=np.int32),
+            threshold=np.array([0.5, 0.3, 0.7, 0.0, 0.0, 0.0, 0.0]),
+            left=np.array([1, 3, 5, -1, -1, -1, -1], dtype=np.int32),
+            right=np.array([2, 4, 6, -1, -1, -1, -1], dtype=np.int32),
+            value=np.zeros(7),
+            gain=np.array([4.0, 2.0, 1.0, 0.0, 0.0, 0.0, 0.0]),
+            n_samples=np.array([8, 4, 4, 2, 2, 2, 2], dtype=np.int64),
+        )
+        forest = FakeForest([tree], 2)
+        scores = count_path_scores(forest, [0, 1])
+        assert scores[(0, 1)] == 2.0
+
+    def test_same_feature_pairs_skipped(self):
+        """(f, f) is not an interaction even when f repeats on a path."""
+        tree = Tree(
+            feature=np.array([0, 0, LEAF, LEAF, LEAF], dtype=np.int32),
+            threshold=np.array([0.5, 0.25, 0.0, 0.0, 0.0]),
+            left=np.array([1, 3, -1, -1, -1], dtype=np.int32),
+            right=np.array([2, 4, -1, -1, -1], dtype=np.int32),
+            value=np.zeros(5),
+            gain=np.array([4.0, 2.0, 0.0, 0.0, 0.0]),
+            n_samples=np.array([8, 4, 4, 2, 2], dtype=np.int64),
+        )
+        forest = FakeForest([tree], 2)
+        scores = count_path_scores(forest, [0, 1])
+        assert scores[(0, 1)] == 0.0
+
+    def test_sums_over_trees(self):
+        forest = FakeForest([chain_tree(), chain_tree()], 3)
+        scores = count_path_scores(forest, [0, 1, 2])
+        assert scores[(0, 1)] == 2.0
+
+
+class TestGainPath:
+    def test_min_gain_accumulated(self):
+        """Each ancestor/descendant pair contributes min of the two gains."""
+        forest = FakeForest([chain_tree()], 3)
+        scores = gain_path_scores(forest, [0, 1, 2])
+        assert scores[(0, 1)] == pytest.approx(3.0)  # min(5, 3)
+        assert scores[(0, 2)] == pytest.approx(1.0)  # min(5, 1)
+        assert scores[(1, 2)] == pytest.approx(1.0)  # min(3, 1)
+
+    def test_gain_path_weighted_version_of_count(self):
+        """With unit gains, Gain-Path reduces exactly to Count-Path."""
+        tree = chain_tree()
+        tree.gain = np.where(tree.feature != LEAF, 1.0, 0.0)
+        forest = FakeForest([tree], 3)
+        counts = count_path_scores(forest, [0, 1, 2])
+        gains = gain_path_scores(forest, [0, 1, 2])
+        assert counts == gains
+
+
+class TestPairGain:
+    def test_additive_in_feature_importances(self):
+        forest = FakeForest([chain_tree()], 3)
+        scores = pair_gain_scores(forest, [0, 1, 2])
+        # I(f0)=5, I(f1)=3, I(f2)=1.
+        assert scores[(0, 1)] == pytest.approx(8.0)
+        assert scores[(0, 2)] == pytest.approx(6.0)
+        assert scores[(1, 2)] == pytest.approx(4.0)
+
+
+class TestRankAndSelect:
+    def test_ranking_on_real_forest(self, interaction_forest):
+        """The injected pairs of D'' should rank well under gain-path."""
+        true_pairs = {(0, 1), (0, 4), (1, 4)}
+        ranked = rank_interactions(
+            interaction_forest, [0, 1, 2, 3, 4], "gain-path"
+        )
+        top4 = {pair for pair, _ in ranked[:4]}
+        assert len(top4 & true_pairs) >= 2
+
+    def test_scores_sorted_descending(self, interaction_forest):
+        ranked = rank_interactions(interaction_forest, [0, 1, 2, 3, 4], "count-path")
+        values = [score for _, score in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_select_interactions_count(self, interaction_forest):
+        pairs = select_interactions(interaction_forest, [0, 1, 2, 3, 4], 3)
+        assert len(pairs) == 3
+
+    def test_select_zero_interactions(self, interaction_forest):
+        assert select_interactions(interaction_forest, [0, 1], 0) == []
+
+    def test_hstat_requires_sample(self, interaction_forest):
+        with pytest.raises(ValueError, match="sample"):
+            rank_interactions(interaction_forest, [0, 1], "h-stat")
+
+    def test_unknown_strategy(self, interaction_forest):
+        with pytest.raises(ValueError):
+            rank_interactions(interaction_forest, [0, 1], "anova")
+
+    def test_negative_selection_rejected(self, interaction_forest):
+        with pytest.raises(ValueError):
+            select_interactions(interaction_forest, [0, 1], -1)
+
+    def test_hstat_on_real_forest(self, interaction_forest, d_double_prime_small):
+        sample = d_double_prime_small.X_train[:40]
+        ranked = rank_interactions(
+            interaction_forest, [0, 1, 2, 3, 4], "h-stat", sample=sample
+        )
+        assert len(ranked) == 10
+        top4 = {pair for pair, _ in ranked[:4]}
+        assert len(top4 & {(0, 1), (0, 4), (1, 4)}) >= 2

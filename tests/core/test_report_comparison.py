@@ -1,0 +1,91 @@
+"""Tests for the explanation report and the GEF-vs-SHAP comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEF, compare_with_shap, explanation_report
+from repro.xai import ShapGlobalExplainer
+
+
+@pytest.fixture(scope="module")
+def explanation(small_forest):
+    gef = GEF(
+        n_univariate=5,
+        sampling_strategy="all-thresholds",
+        n_samples=6000,
+        n_splines=14,
+        random_state=0,
+    )
+    return gef.explain(small_forest)
+
+
+@pytest.fixture(scope="module")
+def shap_global(small_forest, d_prime_small):
+    explainer = ShapGlobalExplainer(small_forest)
+    return explainer.explain(d_prime_small.X_test[:60])
+
+
+class TestExplanationReport:
+    def test_sections_present(self, explanation, d_prime_small):
+        text = explanation_report(explanation, instance=d_prime_small.X_test[0])
+        assert "GEF EXPLANATION REPORT" in text
+        assert "SURROGATE DIAGNOSTICS" in text
+        assert "GLOBAL EXPLANATION" in text
+        assert "LOCAL EXPLANATION" in text
+
+    def test_local_section_optional(self, explanation):
+        text = explanation_report(explanation)
+        assert "LOCAL EXPLANATION" not in text
+
+    def test_top_components_limit(self, explanation):
+        full = explanation_report(explanation)
+        trimmed = explanation_report(explanation, top_components=2)
+        assert len(trimmed) < len(full)
+
+    def test_local_sensitivity_lines(self, explanation, d_prime_small):
+        text = explanation_report(explanation, instance=d_prime_small.X_test[1])
+        assert "local sensitivity" in text
+
+    def test_tensor_terms_rendered_as_surface_summary(self, interaction_forest):
+        expl = GEF(
+            n_univariate=5,
+            n_interactions=1,
+            n_samples=2500,
+            n_splines=10,
+            random_state=0,
+        ).explain(interaction_forest)
+        text = explanation_report(expl)
+        assert "tensor surface spanning" in text
+
+
+class TestCompareWithShap:
+    def test_correlations_cover_univariate_components(
+        self, explanation, shap_global
+    ):
+        report = compare_with_shap(explanation, shap_global)
+        assert set(report.per_feature_correlation) == set(explanation.features)
+
+    def test_trends_agree_on_shared_forest(self, explanation, shap_global):
+        """Both explain the same forest: trends must correlate strongly."""
+        report = compare_with_shap(explanation, shap_global)
+        assert report.mean_correlation() > 0.7
+
+    def test_importance_overlap(self, explanation, shap_global):
+        report = compare_with_shap(explanation, shap_global, top_k=3)
+        assert report.top_k == 3
+        assert 0.0 <= report.importance_rank_overlap <= 1.0
+        # Same forest, same signal: the top features largely coincide.
+        assert report.importance_rank_overlap >= 2 / 3
+
+    def test_summary_text(self, explanation, shap_global):
+        report = compare_with_shap(explanation, shap_global)
+        text = report.summary(feature_names=["a", "b", "c", "d", "e"])
+        assert "trend corr" in text
+        assert "importance overlap" in text
+
+    def test_constant_component_gets_zero(self, explanation, shap_global):
+        # Force a degenerate case through the API contract: correlations
+        # are finite numbers in [-1, 1] for every component.
+        report = compare_with_shap(explanation, shap_global)
+        for corr in report.per_feature_correlation.values():
+            assert -1.0 - 1e-9 <= corr <= 1.0 + 1e-9

@@ -1,0 +1,90 @@
+"""Tests for the data-free robustness audits."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEF, minimal_shift, sensitivity_profile
+
+
+@pytest.fixture(scope="module")
+def explanation(small_forest):
+    gef = GEF(
+        n_univariate=5,
+        sampling_strategy="all-thresholds",
+        n_samples=6000,
+        n_splines=14,
+        random_state=0,
+    )
+    return gef.explain(small_forest)
+
+
+class TestSensitivityProfile:
+    def test_one_entry_per_spline(self, explanation):
+        profile = sensitivity_profile(explanation, np.full(5, 0.5))
+        assert len(profile) == 5
+
+    def test_sigmoid_feature_most_sensitive_at_inflection(self, explanation):
+        """At x = 0.5 the sigmoid generator (x2) jumps: it must lead."""
+        profile = sensitivity_profile(
+            explanation, np.full(5, 0.5), budget_fraction=0.1
+        )
+        assert profile[0].feature in (1, 2)  # sine and sigmoid both swing
+
+    def test_swing_grows_with_budget(self, explanation):
+        x = np.full(5, 0.5)
+        small = sensitivity_profile(explanation, x, budget_fraction=0.05)
+        large = sensitivity_profile(explanation, x, budget_fraction=0.3)
+        swing = lambda p: {s.feature: s.max_increase - s.max_decrease for s in p}
+        small_sw, large_sw = swing(small), swing(large)
+        for feature in small_sw:
+            assert large_sw[feature] >= small_sw[feature] - 1e-9
+
+    def test_directions_bracket_zero(self, explanation):
+        for s in sensitivity_profile(explanation, np.full(5, 0.4)):
+            assert s.max_increase >= -1e-9
+            assert s.max_decrease <= 1e-9
+
+    def test_budget_validation(self, explanation):
+        with pytest.raises(ValueError):
+            sensitivity_profile(explanation, np.full(5, 0.5), budget_fraction=0.0)
+
+
+class TestMinimalShift:
+    def test_finds_a_shift(self, explanation):
+        result = minimal_shift(explanation, np.full(5, 0.45), delta=0.5)
+        assert result is not None
+        assert result.achieved_shift >= 0.5
+        assert result.perturbation > 0
+
+    def test_sign_respected(self, explanation):
+        down = minimal_shift(explanation, np.full(5, 0.45), delta=-0.5)
+        assert down is not None
+        assert down.achieved_shift <= -0.5
+
+    def test_steep_component_is_the_cheapest_big_shift(self, explanation):
+        """Near x = 0.47 both steep generators — sin(20x) with slope up to
+        20, and the sigmoid jump at 0.5 — offer a +0.7 shift for a tiny
+        perturbation; a flat feature like x0 (unit slope) cannot."""
+        x = np.full(5, 0.47)
+        result = minimal_shift(explanation, x, delta=0.7)
+        assert result is not None
+        assert result.feature in (1, 2)
+        assert result.perturbation < 0.15
+
+    def test_impossible_shift_returns_none(self, explanation):
+        result = minimal_shift(explanation, np.full(5, 0.5), delta=100.0)
+        assert result is None
+
+    def test_zero_delta_rejected(self, explanation):
+        with pytest.raises(ValueError):
+            minimal_shift(explanation, np.full(5, 0.5), delta=0.0)
+
+    def test_shift_verified_against_forest(self, explanation, small_forest):
+        """The surrogate's suggested perturbation moves the real forest."""
+        x = np.full(5, 0.47)
+        result = minimal_shift(explanation, x, delta=0.7)
+        x_new = x.copy()
+        x_new[result.feature] = result.new_value
+        before = small_forest.predict(x[None, :])[0]
+        after = small_forest.predict(x_new[None, :])[0]
+        assert after - before > 0.4  # the forest confirms a real jump

@@ -1,0 +1,58 @@
+"""Smoke matrix: every sampling strategy x model type runs end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEF, SAMPLING_STRATEGY_NAMES
+
+
+@pytest.mark.parametrize("strategy", SAMPLING_STRATEGY_NAMES)
+class TestStrategyOnRegressor:
+    def test_pipeline_runs_and_fits(self, strategy, small_forest):
+        explanation = GEF(
+            n_univariate=3,
+            sampling_strategy=strategy,
+            k_points=40,
+            n_samples=2500,
+            n_splines=10,
+            random_state=0,
+        ).explain(small_forest)
+        assert explanation.fidelity["r2"] > 0.5
+        assert len(explanation.features) == 3
+        # Every selected feature has a usable domain.
+        for f in explanation.features:
+            assert len(explanation.dataset.domains[f]) >= 2
+
+
+@pytest.mark.parametrize("strategy", SAMPLING_STRATEGY_NAMES)
+class TestStrategyOnClassifier:
+    def test_pipeline_runs_and_fits(self, strategy, small_classifier):
+        explanation = GEF(
+            n_univariate=2,
+            sampling_strategy=strategy,
+            k_points=40,
+            n_samples=2500,
+            n_splines=8,
+            random_state=0,
+        ).explain(small_classifier)
+        preds = explanation.predict(explanation.dataset.X_test)
+        assert np.all((preds >= 0) & (preds <= 1))
+        assert explanation.fidelity["rmse"] < 0.25
+
+
+@pytest.mark.parametrize(
+    "interaction_strategy", ("pair-gain", "count-path", "gain-path")
+)
+class TestInteractionStrategyMatrix:
+    def test_pipeline_with_tensors(self, interaction_strategy, interaction_forest):
+        explanation = GEF(
+            n_univariate=5,
+            n_interactions=2,
+            interaction_strategy=interaction_strategy,
+            n_samples=2500,
+            n_splines=8,
+            random_state=0,
+        ).explain(interaction_forest)
+        assert len(explanation.pairs) == 2
+        curves = explanation.global_explanation(n_points=12)
+        assert sum(len(c.features) == 2 for c in curves) == 2

@@ -1,0 +1,66 @@
+"""Tests for automated component-count selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEFConfig, suggest_components
+
+
+@pytest.fixture(scope="module")
+def sweep(small_forest):
+    config = GEFConfig(
+        n_samples=4000, n_splines=12, k_points=60, random_state=0
+    )
+    return suggest_components(
+        small_forest, config, max_interactions=2, tolerance=0.05
+    )
+
+
+class TestSuggestComponents:
+    def test_suggestion_within_bounds(self, sweep):
+        assert 1 <= sweep.suggested_univariate <= 5
+        assert 0 <= sweep.suggested_interactions <= 2
+
+    def test_rmse_decreases_along_explored_path(self, sweep):
+        col0 = sweep.rmse[:, 0]
+        explored = col0[~np.isnan(col0)]
+        # RMSE must improve up to the suggested count.
+        assert len(explored) >= sweep.suggested_univariate
+        idx = sweep.univariate_counts.index(sweep.suggested_univariate)
+        assert explored[idx] <= explored[0]
+
+    def test_all_five_components_needed_on_d_prime(self, sweep):
+        """Every g' generator contributes: the sweep keeps most features."""
+        assert sweep.suggested_univariate >= 4
+
+    def test_summary_renders(self, sweep):
+        text = sweep.summary()
+        assert "suggestion" in text
+        assert "<-" in text
+
+    def test_tolerance_validation(self, small_forest):
+        with pytest.raises(ValueError):
+            suggest_components(small_forest, tolerance=1.5)
+
+    def test_single_feature_forest_no_interactions(self):
+        """With one usable feature, heredity admits no pairs at all."""
+        from repro.forest import GradientBoostingRegressor
+
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (500, 2))
+        y = np.sin(5 * X[:, 0])  # feature 1 unused
+        forest = GradientBoostingRegressor(n_estimators=10, random_state=0)
+        forest.fit(X, y)
+        config = GEFConfig(n_samples=1000, n_splines=8, random_state=0)
+        result = suggest_components(forest, config, max_interactions=2)
+        assert result.suggested_univariate == 1
+        assert result.suggested_interactions == 0
+
+    def test_zero_tolerance_keeps_growing(self, small_forest):
+        config = GEFConfig(n_samples=2000, n_splines=10, random_state=0)
+        result = suggest_components(
+            small_forest, config, max_interactions=0, tolerance=0.0
+        )
+        # With tolerance 0 any improvement counts: |F'| grows while RMSE
+        # strictly improves, which it does on D'.
+        assert result.suggested_univariate >= 3

@@ -1,0 +1,97 @@
+"""Tests for the synthetic Census generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CATEGORICAL_LEVELS, load_census
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_census(n=6000, seed=0)
+
+
+class TestSchema:
+    def test_one_hot_width(self, data):
+        expected = 6 + sum(len(v) for v in CATEGORICAL_LEVELS.values())
+        assert data.X_train.shape[1] == expected
+        assert len(data.feature_names) == expected
+
+    def test_numeric_columns_first(self, data):
+        assert data.feature_names[:6] == [
+            "age",
+            "fnlwgt",
+            "education_num",
+            "capital_gain",
+            "capital_loss",
+            "hours_per_week",
+        ]
+
+    def test_one_hot_columns_binary_and_exclusive(self, data):
+        for col, levels in CATEGORICAL_LEVELS.items():
+            idx = [data.feature_index(f"{col}={lvl}") for lvl in levels]
+            block = data.X_train[:, idx]
+            assert set(np.unique(block)) <= {0.0, 1.0}
+            np.testing.assert_array_equal(block.sum(axis=1), 1.0)
+
+    def test_education_string_column_dropped(self, data):
+        """Pre-processing drops 'education' in favour of education_num."""
+        assert not any(n.startswith("education=") for n in data.feature_names)
+        assert "education_num" in data.feature_names
+
+
+class TestMarginals:
+    def test_label_binary(self, data):
+        assert set(np.unique(data.y_train)) <= {0.0, 1.0}
+
+    def test_positive_rate_realistic(self, data):
+        """The real Adult dataset has ~24% positive labels."""
+        rate = data.y_train.mean()
+        assert 0.15 < rate < 0.35
+
+    def test_age_range(self, data):
+        age = data.X_train[:, data.feature_index("age")]
+        assert age.min() >= 17 and age.max() <= 90
+
+    def test_education_num_range(self, data):
+        edu = data.X_train[:, data.feature_index("education_num")]
+        assert edu.min() >= 1 and edu.max() <= 16
+
+    def test_capital_gain_mostly_zero(self, data):
+        gain = data.X_train[:, data.feature_index("capital_gain")]
+        assert np.mean(gain == 0) > 0.8
+
+
+class TestDependencies:
+    def test_education_positively_correlated_with_income(self, data):
+        """The qualitative Figure 10 finding the splines must recover."""
+        edu = data.X_train[:, data.feature_index("education_num")]
+        high = data.y_train[edu >= 13].mean()
+        low = data.y_train[edu <= 9].mean()
+        assert high > low + 0.1
+
+    def test_married_effect(self, data):
+        married = data.X_train[
+            :, data.feature_index("marital_status=Married-civ-spouse")
+        ]
+        assert data.y_train[married == 1].mean() > data.y_train[married == 0].mean()
+
+    def test_deterministic(self):
+        a = load_census(n=300, seed=9)
+        b = load_census(n=300, seed=9)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            load_census(n=3)
+
+    def test_forest_learns_the_task(self, data):
+        from repro.forest import GradientBoostingClassifier
+
+        forest = GradientBoostingClassifier(
+            n_estimators=30, num_leaves=16, learning_rate=0.2, random_state=0
+        )
+        forest.fit(data.X_train, data.y_train)
+        acc = np.mean(forest.predict(data.X_test) == data.y_test)
+        baseline = max(data.y_test.mean(), 1 - data.y_test.mean())
+        assert acc > baseline + 0.05

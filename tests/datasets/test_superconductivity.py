@@ -1,0 +1,105 @@
+"""Tests for the synthetic Superconductivity generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FEATURE_NAMES,
+    PROPERTIES,
+    STATS,
+    TARGET_FEATURES,
+    load_superconductivity,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_superconductivity(n=3000, seed=0)
+
+
+class TestSchema:
+    def test_81_features(self, data):
+        assert data.X_train.shape[1] == 81
+        assert len(data.feature_names) == 81
+        assert len(FEATURE_NAMES) == 81
+
+    def test_naming_scheme(self):
+        assert FEATURE_NAMES[0] == "number_of_elements"
+        assert "wtd_entropy_atomic_mass" in FEATURE_NAMES
+        assert len(PROPERTIES) * len(STATS) + 1 == 81
+
+    def test_feature_index_lookup(self, data):
+        idx = data.feature_index("wtd_entropy_atomic_mass")
+        assert data.feature_names[idx] == "wtd_entropy_atomic_mass"
+
+    def test_split_sizes(self, data):
+        assert len(data.X_train) == 2400
+        assert len(data.X_test) == 600
+
+
+class TestStatisticalConsistency:
+    def test_number_of_elements_range(self, data):
+        k = data.X_train[:, 0]
+        assert k.min() >= 1 and k.max() <= 9
+        np.testing.assert_array_equal(k, np.round(k))
+
+    def test_range_nonnegative(self, data):
+        for prop in PROPERTIES:
+            col = data.X_train[:, data.feature_index(f"range_{prop}")]
+            assert col.min() >= 0
+
+    def test_entropy_bounds(self, data):
+        """Entropy of at most 9 components is bounded by ln(9)."""
+        for prop in PROPERTIES:
+            col = data.X_train[:, data.feature_index(f"entropy_{prop}")]
+            assert col.min() >= -1e-12
+            assert col.max() <= np.log(9) + 1e-9
+
+    def test_single_element_degenerate_stats(self, data):
+        """Materials with one element have zero entropy, range and std."""
+        single = data.X_train[:, 0] == 1
+        if single.any():
+            for stat in ("entropy", "range", "std"):
+                col = data.X_train[single, data.feature_index(f"{stat}_atomic_mass")]
+                np.testing.assert_allclose(col, 0.0, atol=1e-9)
+
+    def test_gmean_below_mean(self, data):
+        """AM-GM inequality must hold for every generated material."""
+        mean = data.X_train[:, data.feature_index("mean_atomic_mass")]
+        gmean = data.X_train[:, data.feature_index("gmean_atomic_mass")]
+        assert np.all(gmean <= mean + 1e-9)
+
+    def test_deterministic(self):
+        a = load_superconductivity(n=200, seed=5)
+        b = load_superconductivity(n=200, seed=5)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+
+class TestTarget:
+    def test_nonnegative_temperature(self, data):
+        assert data.y_train.min() >= 0.0
+
+    def test_weam_jump_effect(self, data):
+        """Materials above the WEAM ~1.1 jump run much hotter on average."""
+        weam = data.X_train[:, data.feature_index("wtd_entropy_atomic_mass")]
+        above = data.y_train[weam > 1.3]
+        below = data.y_train[weam < 0.9]
+        assert above.mean() > below.mean() + 15.0
+
+    def test_target_features_have_signal(self, data):
+        """A forest trained on the data must rank the target features high."""
+        from repro.forest import GradientBoostingRegressor
+
+        forest = GradientBoostingRegressor(
+            n_estimators=25, num_leaves=32, learning_rate=0.2, random_state=0
+        )
+        forest.fit(data.X_train, data.y_train)
+        imp = forest.feature_importance()
+        top10 = set(np.argsort(-imp)[:10])
+        driver_idx = {data.feature_index(name) for name in TARGET_FEATURES[:2]}
+        assert driver_idx <= top10
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            load_superconductivity(n=5)

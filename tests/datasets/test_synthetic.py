@@ -1,0 +1,140 @@
+"""Tests for the paper's synthetic generators (g', h, g'')."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GENERATORS,
+    all_interaction_triples,
+    all_pairs,
+    g_double_prime,
+    g_prime,
+    interaction_bump,
+    make_d_double_prime,
+    make_d_prime,
+    sigmoid_1d,
+)
+
+
+class TestGeneratorFunctions:
+    def test_g_prime_at_origin(self):
+        """g'(0) = 0 + 0 + sigma(-25) + 0 + 2 = ~2."""
+        value = g_prime(np.zeros((1, 5)))[0]
+        assert value == pytest.approx(2.0, abs=1e-8)
+
+    def test_g_prime_is_sum_of_generators(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (50, 5))
+        manual = sum(gen(X[:, j]) for j, gen in enumerate(GENERATORS))
+        np.testing.assert_allclose(g_prime(X), manual)
+
+    def test_generators_bounded(self):
+        """Each generator's contribution stays within the paper's [-1, 2]."""
+        x = np.linspace(0, 1, 1000)
+        for gen in GENERATORS:
+            values = gen(x)
+            assert values.min() >= -1.0 - 1e-9
+            assert values.max() <= 2.0 + 1e-9
+
+    def test_sigmoid_generator_midpoint(self):
+        assert GENERATORS[2](np.array([0.5]))[0] == pytest.approx(0.5)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            g_prime(np.zeros((3, 4)))
+
+
+class TestInteractionBump:
+    def test_peak_at_center(self):
+        peak = interaction_bump(np.array([0.5]), np.array([0.5]))[0]
+        assert peak == pytest.approx(2.0)
+
+    def test_symmetric(self):
+        a = interaction_bump(np.array([0.2]), np.array([0.8]))
+        b = interaction_bump(np.array([0.8]), np.array([0.2]))
+        assert a[0] == pytest.approx(b[0])
+
+    def test_decreases_away_from_center(self):
+        near = interaction_bump(np.array([0.6]), np.array([0.6]))[0]
+        far = interaction_bump(np.array([1.0]), np.array([1.0]))[0]
+        assert near > far
+
+    def test_g_double_prime_adds_bumps(self):
+        X = np.full((1, 5), 0.5)
+        base = g_prime(X)[0]
+        with_pairs = g_double_prime(X, [(0, 1), (2, 3)])[0]
+        assert with_pairs == pytest.approx(base + 4.0)  # two centered bumps
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(ValueError):
+            g_double_prime(np.zeros((1, 5)), [(0, 7)])
+        with pytest.raises(ValueError):
+            g_double_prime(np.zeros((1, 5)), [(2, 2)])
+
+
+class TestDatasets:
+    def test_split_sizes(self):
+        data = make_d_prime(n=1000, train_fraction=0.8, seed=0)
+        assert len(data.X_train) == 800
+        assert len(data.X_test) == 200
+        assert data.n_features == 5
+
+    def test_deterministic(self):
+        a = make_d_prime(n=500, seed=3)
+        b = make_d_prime(n=500, seed=3)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_noise_level(self):
+        """Per-generator noise: residual std ~ 0.1 * sqrt(5)."""
+        data = make_d_prime(n=20_000, seed=1)
+        X = np.vstack([data.X_train, data.X_test])
+        y = np.concatenate([data.y_train, data.y_test])
+        resid = y - g_prime(X)
+        assert np.std(resid) == pytest.approx(0.1 * np.sqrt(5), rel=0.1)
+
+    def test_noiseless_option(self):
+        data = make_d_prime(n=200, noise_std=0.0, seed=2)
+        np.testing.assert_allclose(data.y_train, g_prime(data.X_train), atol=1e-12)
+
+    def test_d_double_prime_records_pairs(self):
+        pairs = [(0, 1), (2, 3)]
+        data = make_d_double_prime(pairs, n=200, seed=0)
+        assert data.pairs == pairs
+
+    def test_features_in_unit_cube(self):
+        data = make_d_prime(n=1000, seed=4)
+        assert data.X_train.min() >= 0.0
+        assert data.X_train.max() <= 1.0
+
+    def test_train_fraction_validation(self):
+        with pytest.raises(ValueError):
+            make_d_prime(n=100, train_fraction=1.0)
+
+
+class TestCombinatorics:
+    def test_ten_pairs(self):
+        pairs = all_pairs()
+        assert len(pairs) == 10
+        assert len(set(pairs)) == 10
+
+    def test_120_triples(self):
+        """The paper's Fig 6 sweep: C(10, 3) = 120 interaction sets."""
+        triples = all_interaction_triples()
+        assert len(triples) == 120
+        assert all(len(t) == 3 for t in triples)
+        assert len(set(triples)) == 120
+
+
+class TestSigmoid1d:
+    def test_shape_and_range(self):
+        X, y = sigmoid_1d(n=500, seed=0)
+        assert X.shape == (500, 1)
+        assert np.all((y > 0) & (y < 1))
+
+    def test_steepness_at_center(self):
+        X, y = sigmoid_1d(n=10_000, seed=0)
+        below = y[X[:, 0] < 0.4]
+        above = y[X[:, 0] > 0.6]
+        assert below.max() < 0.01
+        assert above.min() > 0.99

@@ -1,0 +1,115 @@
+"""Tests for repro.forest.binning.BinMapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.forest import BinMapper
+
+
+class TestBinMapperBasics:
+    def test_rejects_bad_max_bins(self):
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=1)
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=256)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            BinMapper().fit(np.arange(5.0))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BinMapper().transform(np.zeros((3, 2)))
+
+    def test_transform_rejects_wrong_width(self):
+        mapper = BinMapper().fit(np.random.default_rng(0).normal(size=(50, 3)))
+        with pytest.raises(ValueError):
+            mapper.transform(np.zeros((5, 4)))
+
+    def test_few_distinct_values_get_one_bin_each(self):
+        X = np.array([[0.0], [1.0], [2.0], [1.0], [0.0]])
+        mapper = BinMapper().fit(X)
+        # 3 distinct values -> 2 midpoint boundaries -> 3 bins.
+        assert mapper.n_bins_[0] == 3
+        binned = mapper.transform(X)
+        assert sorted(np.unique(binned[:, 0]).tolist()) == [0, 1, 2]
+
+    def test_constant_feature_single_bin(self):
+        X = np.full((20, 1), 3.14)
+        mapper = BinMapper().fit(X)
+        assert mapper.n_bins_[0] == 1
+        assert mapper.transform(X).max() == 0
+
+    def test_many_distinct_values_capped(self):
+        X = np.arange(10_000, dtype=float)[:, None]
+        mapper = BinMapper(max_bins=255).fit(X)
+        assert mapper.n_bins_[0] <= 255
+
+    def test_bin_threshold_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 2))
+        mapper = BinMapper(max_bins=16).fit(X)
+        binned = mapper.transform(X)
+        # Splitting "after bin b" must agree with the raw threshold test.
+        for feature in range(2):
+            for b in range(len(mapper.bin_edges_[feature])):
+                threshold = mapper.bin_threshold(feature, b)
+                left_by_bin = binned[:, feature] <= b
+                left_by_raw = X[:, feature] <= threshold
+                np.testing.assert_array_equal(left_by_bin, left_by_raw)
+
+    def test_bin_threshold_out_of_range(self):
+        mapper = BinMapper().fit(np.array([[0.0], [1.0]]))
+        with pytest.raises(IndexError):
+            mapper.bin_threshold(0, 5)
+
+    def test_value_equal_to_edge_goes_left(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        mapper = BinMapper().fit(X)
+        edge = mapper.bin_edges_[0][0]
+        binned = mapper.transform(np.array([[edge]]))
+        assert binned[0, 0] == 0
+
+
+class TestBinMapperProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 200), st.integers(1, 4)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_binning_is_monotone(self, X):
+        """Larger raw values never land in a smaller bin."""
+        mapper = BinMapper(max_bins=32).fit(X)
+        binned = mapper.transform(X)
+        for j in range(X.shape[1]):
+            order = np.argsort(X[:, j], kind="stable")
+            assert np.all(np.diff(binned[order, j].astype(int)) >= 0)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 100), st.integers(1, 3)),
+            elements=st.floats(-1e4, 1e4, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bins_within_bounds(self, X):
+        mapper = BinMapper(max_bins=16).fit(X)
+        binned = mapper.transform(X)
+        for j in range(X.shape[1]):
+            assert binned[:, j].max() < mapper.n_bins_[j]
+
+    @given(st.integers(2, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_edges_strictly_increasing(self, max_bins):
+        rng = np.random.default_rng(max_bins)
+        X = rng.normal(size=(300, 1))
+        mapper = BinMapper(max_bins=max_bins).fit(X)
+        edges = mapper.bin_edges_[0]
+        assert np.all(np.diff(edges) > 0)

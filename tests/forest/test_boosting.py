@@ -1,0 +1,128 @@
+"""Tests for the gradient-boosting models."""
+
+import numpy as np
+import pytest
+
+from repro.forest import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.metrics import r2_score
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (1500, 4))
+    y = 2 * X[:, 0] + np.sin(8 * X[:, 1]) + rng.normal(0, 0.05, 1500)
+    return X[:1000], y[:1000], X[1000:], y[1000:]
+
+
+class TestRegressor:
+    def test_fits_nonlinear_target(self, regression_data):
+        X, y, X_test, y_test = regression_data
+        model = GradientBoostingRegressor(
+            n_estimators=80, num_leaves=16, learning_rate=0.2, random_state=0
+        )
+        model.fit(X, y)
+        assert r2_score(y_test, model.predict(X_test)) > 0.95
+
+    def test_prediction_is_init_plus_trees(self, regression_data):
+        X, y, X_test, _ = regression_data
+        model = GradientBoostingRegressor(n_estimators=10, random_state=0)
+        model.fit(X, y)
+        manual = np.full(len(X_test), model.init_score_)
+        for tree in model.trees_:
+            manual += tree.predict(X_test)
+        np.testing.assert_allclose(model.predict(X_test), manual)
+
+    def test_deterministic_given_seed(self, regression_data):
+        X, y, X_test, _ = regression_data
+        preds = []
+        for _ in range(2):
+            model = GradientBoostingRegressor(
+                n_estimators=15, subsample=0.7, random_state=42
+            )
+            model.fit(X, y)
+            preds.append(model.predict(X_test))
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+    def test_more_trees_reduce_train_loss(self, regression_data):
+        X, y, _, _ = regression_data
+        model = GradientBoostingRegressor(n_estimators=40, random_state=0)
+        model.fit(X, y)
+        losses = np.asarray(model.train_losses_)
+        assert losses[-1] < losses[0]
+        assert np.all(np.diff(losses) <= 1e-12)  # monotone for L2
+
+    def test_feature_importance_ranks_signal(self, regression_data):
+        X, y, _, _ = regression_data
+        model = GradientBoostingRegressor(n_estimators=30, random_state=0)
+        model.fit(X, y)
+        imp = model.feature_importance("gain")
+        assert set(np.argsort(-imp)[:2]) == {0, 1}
+        splits = model.feature_importance("split")
+        assert splits.sum() > 0
+        with pytest.raises(ValueError):
+            model.feature_importance("cover")
+
+    def test_early_stopping_truncates(self, regression_data):
+        X, y, X_val, y_val = regression_data
+        model = GradientBoostingRegressor(
+            n_estimators=400,
+            learning_rate=0.3,
+            early_stopping_rounds=5,
+            random_state=0,
+        )
+        model.fit(X, y, eval_set=(X_val, y_val))
+        assert model.best_iteration_ is not None
+        assert model.n_trees_ == model.best_iteration_
+        assert model.n_trees_ < 400
+
+    def test_early_stopping_requires_eval_set(self, regression_data):
+        X, y, _, _ = regression_data
+        model = GradientBoostingRegressor(early_stopping_rounds=3)
+        with pytest.raises(ValueError, match="eval_set"):
+            model.fit(X, y)
+
+    def test_subsample_bounds(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_learning_rate_bounds(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+
+    def test_shape_validation(self):
+        model = GradientBoostingRegressor()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(5), np.zeros(5))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+
+class TestClassifier:
+    def test_separable_problem(self, small_classifier, classification_data):
+        X, y = classification_data
+        acc = np.mean(small_classifier.predict(X) == y)
+        assert acc > 0.9
+
+    def test_proba_in_unit_interval(self, small_classifier, classification_data):
+        X, _ = classification_data
+        p = small_classifier.predict_proba(X)
+        assert np.all((p > 0) & (p < 1))
+
+    def test_rejects_non_binary_labels(self):
+        X = np.random.default_rng(0).uniform(size=(30, 2))
+        y = np.arange(30.0)
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier(n_estimators=2).fit(X, y)
+
+    def test_predict_is_thresholded_proba(self, small_classifier, classification_data):
+        X, _ = classification_data
+        p = small_classifier.predict_proba(X[:50])
+        labels = small_classifier.predict(X[:50])
+        np.testing.assert_array_equal(labels, (p >= 0.5).astype(int))

@@ -1,0 +1,113 @@
+"""Property-based invariants of the forest substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forest import (
+    GradientBoostingRegressor,
+    Tree,
+    forest_from_dict,
+    forest_to_dict,
+)
+
+
+def _random_forest_model(seed: int, n_rows: int, n_features: int, n_trees: int):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n_rows, n_features))
+    y = X @ rng.normal(size=n_features) + rng.normal(0, 0.1, n_rows)
+    model = GradientBoostingRegressor(
+        n_estimators=n_trees,
+        num_leaves=6,
+        min_samples_leaf=2,
+        learning_rate=0.3,
+        random_state=seed,
+    )
+    model.fit(X, y)
+    return model, X, y
+
+
+class TestForestProperties:
+    @given(
+        st.integers(0, 1000),
+        st.integers(60, 200),
+        st.integers(1, 4),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_decomposes_over_trees(self, seed, n_rows, n_features, n_trees):
+        """predict_raw == init + sum of per-tree predictions, always."""
+        model, X, _ = _random_forest_model(seed, n_rows, n_features, n_trees)
+        manual = np.full(len(X), model.init_score_)
+        for tree in model.trees_:
+            manual += tree.predict(X)
+        np.testing.assert_allclose(model.predict_raw(X), manual, atol=1e-12)
+
+    @given(st.integers(0, 1000), st.integers(60, 150))
+    @settings(max_examples=15, deadline=None)
+    def test_serialization_round_trip_any_forest(self, seed, n_rows):
+        model, X, _ = _random_forest_model(seed, n_rows, 3, 4)
+        clone = forest_from_dict(forest_to_dict(model))
+        np.testing.assert_array_equal(model.predict_raw(X), clone.predict_raw(X))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_train_loss_never_increases(self, seed):
+        """L2 boosting with full data is a descent method."""
+        model, _, _ = _random_forest_model(seed, 150, 3, 10)
+        losses = np.asarray(model.train_losses_)
+        assert np.all(np.diff(losses) <= 1e-10)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_leaf_covers_partition_root(self, seed):
+        """Within each tree, leaf sample counts sum to the root's count."""
+        model, _, _ = _random_forest_model(seed, 200, 3, 5)
+        for tree in model.trees_:
+            leaves = tree.feature == -1
+            assert tree.n_samples[leaves].sum() == tree.n_samples[0]
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_child_covers_sum_to_parent(self, seed):
+        model, _, _ = _random_forest_model(seed, 200, 3, 5)
+        for tree in model.trees_:
+            for node in tree.internal_nodes():
+                total = (
+                    tree.n_samples[tree.left[node]]
+                    + tree.n_samples[tree.right[node]]
+                )
+                assert total == tree.n_samples[node]
+
+    @given(st.integers(0, 500), st.lists(st.floats(-2, 2), min_size=3, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_apply_and_decision_path_agree(self, seed, coords):
+        """The vectorized descent lands on the same leaf as the path walk."""
+        model, _, _ = _random_forest_model(seed, 150, 3, 3)
+        x = np.asarray(coords)
+        for tree in model.trees_:
+            leaf_via_apply = int(tree.apply(x[None, :])[0])
+            leaf_via_path = tree.decision_path(x)[-1]
+            assert leaf_via_apply == leaf_via_path
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_threshold_tests_are_reproducible_from_structure(self, seed):
+        """Re-evaluating the stored structure by hand matches predict."""
+        model, X, _ = _random_forest_model(seed, 100, 2, 2)
+        tree = model.trees_[0]
+
+        def manual_predict(x):
+            node = 0
+            while tree.feature[node] != -1:
+                if x[tree.feature[node]] <= tree.threshold[node]:
+                    node = int(tree.left[node])
+                else:
+                    node = int(tree.right[node])
+            return tree.value[node]
+
+        for row in X[:20]:
+            assert manual_predict(row) == pytest.approx(
+                tree.predict(row[None, :])[0]
+            )

@@ -1,0 +1,180 @@
+"""Tests for the leaf-wise histogram tree grower."""
+
+import numpy as np
+import pytest
+
+from repro.forest import BinMapper, TreeGrowerParams, grow_tree
+
+
+def grow_on(X, y, **param_overrides):
+    """Grow a single regression tree on (X, y) with L2 gradients."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    mapper = BinMapper(max_bins=64)
+    binned = mapper.fit_transform(X)
+    params = TreeGrowerParams(
+        num_leaves=param_overrides.pop("num_leaves", 8),
+        min_samples_leaf=param_overrides.pop("min_samples_leaf", 1),
+        min_child_weight=0.0,
+        reg_lambda=param_overrides.pop("reg_lambda", 0.0),
+        **param_overrides,
+    )
+    # grad = -y, hess = 1: leaf value becomes the in-leaf mean of y.
+    tree = grow_tree(binned, -y, np.ones(len(y)), mapper, params)
+    return tree, mapper
+
+
+class TestSplitCorrectness:
+    def test_perfect_step_function(self):
+        """A step in x should be found exactly, leaves = side means."""
+        X = np.linspace(0, 1, 100)[:, None]
+        y = np.where(X[:, 0] < 0.5, -1.0, 1.0)
+        tree, _ = grow_on(X, y, num_leaves=2)
+        assert tree.n_leaves == 2
+        preds = tree.predict(X)
+        np.testing.assert_allclose(preds, y, atol=1e-12)
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (400, 3))
+        y = np.where(X[:, 1] < 0.3, 0.0, 5.0)  # only feature 1 matters
+        tree, _ = grow_on(X, y, num_leaves=2)
+        assert tree.feature[0] == 1
+
+    def test_leaf_values_are_means(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (300, 2))
+        y = rng.normal(size=300)
+        tree, _ = grow_on(X, y, num_leaves=6)
+        leaves = tree.apply(X)
+        for leaf in np.unique(leaves):
+            in_leaf = y[leaves == leaf]
+            np.testing.assert_allclose(tree.value[leaf], in_leaf.mean(), atol=1e-10)
+
+    def test_gain_positive_on_splits(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, (500, 4))
+        y = X[:, 0] * 3 + rng.normal(0, 0.1, 500)
+        tree, _ = grow_on(X, y, num_leaves=10)
+        for node in tree.internal_nodes():
+            assert tree.gain[node] > 0
+
+
+class TestGrowthConstraints:
+    def test_num_leaves_cap(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, (1000, 3))
+        y = rng.normal(size=1000)
+        tree, _ = grow_on(X, y, num_leaves=5)
+        assert tree.n_leaves <= 5
+
+    def test_max_depth_cap(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(0, 1, (1000, 3))
+        y = X.sum(axis=1) + rng.normal(0, 0.01, 1000)
+        tree, _ = grow_on(X, y, num_leaves=64, max_depth=3)
+        assert tree.max_depth <= 3
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(0, 1, (200, 2))
+        y = rng.normal(size=200)
+        tree, _ = grow_on(X, y, num_leaves=32, min_samples_leaf=25)
+        leaves = tree.feature == -1
+        assert tree.n_samples[leaves].min() >= 25
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(6).uniform(0, 1, (100, 2))
+        tree, _ = grow_on(X, np.full(100, 2.0), num_leaves=8)
+        assert tree.n_leaves == 1
+        np.testing.assert_allclose(tree.value[0], 2.0)
+
+    def test_min_split_gain_blocks_weak_splits(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 1, (300, 2))
+        y = rng.normal(0, 0.01, 300)  # almost pure noise
+        tree, _ = grow_on(X, y, num_leaves=16, min_split_gain=1e9)
+        assert tree.n_leaves == 1
+
+    def test_feature_subset_respected(self):
+        rng = np.random.default_rng(8)
+        X = rng.uniform(0, 1, (400, 3))
+        y = np.where(X[:, 0] < 0.5, 0.0, 4.0) + 0.1 * X[:, 2]
+        X64 = np.asarray(X, dtype=np.float64)
+        mapper = BinMapper(max_bins=64)
+        binned = mapper.fit_transform(X64)
+        params = TreeGrowerParams(num_leaves=8, min_samples_leaf=1,
+                                  min_child_weight=0.0, reg_lambda=0.0)
+        tree = grow_tree(binned, -y, np.ones(len(y)), mapper, params,
+                         feature_subset=np.array([1, 2]))
+        assert 0 not in tree.used_features()
+
+    def test_rows_subset(self):
+        rng = np.random.default_rng(9)
+        X = rng.uniform(0, 1, (200, 2))
+        y = X[:, 0]
+        X64 = np.asarray(X, dtype=np.float64)
+        mapper = BinMapper()
+        binned = mapper.fit_transform(X64)
+        params = TreeGrowerParams(num_leaves=4, min_samples_leaf=1,
+                                  min_child_weight=0.0, reg_lambda=0.0)
+        rows = np.arange(50)
+        tree = grow_tree(binned, -y, np.ones(len(y)), mapper, params, rows=rows)
+        assert tree.n_samples[0] == 50
+
+
+class TestParamsValidation:
+    def test_invalid_num_leaves(self):
+        with pytest.raises(ValueError):
+            TreeGrowerParams(num_leaves=1)
+
+    def test_invalid_min_samples(self):
+        with pytest.raises(ValueError):
+            TreeGrowerParams(min_samples_leaf=0)
+
+    def test_invalid_reg_lambda(self):
+        with pytest.raises(ValueError):
+            TreeGrowerParams(reg_lambda=-1.0)
+
+
+class TestHistogramSubtraction:
+    def test_equivalent_to_direct_computation(self):
+        """Subtraction-derived sibling histograms grow identical trees."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (3000, 6))
+        y = 2 * X[:, 0] + np.sin(9 * X[:, 1]) + rng.normal(0, 0.1, 3000)
+        mapper = BinMapper()
+        binned = mapper.fit_transform(np.asarray(X, dtype=np.float64))
+        grad, hess = -y, np.ones(len(y))
+        kwargs = dict(num_leaves=24, min_samples_leaf=5,
+                      min_child_weight=0.0, reg_lambda=0.0)
+        direct = grow_tree(
+            binned, grad, hess, mapper,
+            TreeGrowerParams(use_histogram_subtraction=False, **kwargs),
+        )
+        subtracted = grow_tree(
+            binned, grad, hess, mapper,
+            TreeGrowerParams(use_histogram_subtraction=True, **kwargs),
+        )
+        np.testing.assert_array_equal(direct.feature, subtracted.feature)
+        np.testing.assert_allclose(direct.threshold, subtracted.threshold)
+        np.testing.assert_allclose(direct.value, subtracted.value, atol=1e-10)
+        np.testing.assert_array_equal(direct.n_samples, subtracted.n_samples)
+
+    def test_counts_stay_integral_after_subtraction(self):
+        """min_samples_leaf must hold exactly despite float subtraction."""
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (2000, 3))
+        y = rng.normal(size=2000)
+        tree, _ = grow_on(X, y, num_leaves=32, min_samples_leaf=30)
+        leaves = tree.feature == -1
+        assert tree.n_samples[leaves].min() >= 30
+
+
+class TestNewtonLeafValues:
+    def test_regularization_shrinks_leaves(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = np.where(X[:, 0] < 0.5, -1.0, 1.0)
+        plain, _ = grow_on(X, y, num_leaves=2, reg_lambda=0.0)
+        shrunk, _ = grow_on(X, y, num_leaves=2, reg_lambda=10.0)
+        assert np.all(np.abs(shrunk.value[1:]) < np.abs(plain.value[1:]))

@@ -1,0 +1,96 @@
+"""Tests for boosting losses: gradients, hessians, init scores."""
+
+import numpy as np
+import pytest
+
+from repro.forest import LogisticLoss, SquaredLoss, get_loss, sigmoid
+
+
+def numeric_gradient(loss, y, raw, eps=1e-6):
+    """Central-difference derivative of the summed loss w.r.t. raw scores."""
+    grad = np.empty_like(raw)
+    for i in range(len(raw)):
+        up, down = raw.copy(), raw.copy()
+        up[i] += eps
+        down[i] -= eps
+        grad[i] = (loss.loss(y, up) - loss.loss(y, down)) * len(y) / (2 * eps)
+    return grad
+
+
+class TestSquaredLoss:
+    def test_init_score_is_mean(self):
+        y = np.array([1.0, 2.0, 6.0])
+        assert SquaredLoss().init_score(y) == pytest.approx(3.0)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=10)
+        raw = rng.normal(size=10)
+        loss = SquaredLoss()
+        grad, hess = loss.gradient_hessian(y, raw)
+        np.testing.assert_allclose(grad, numeric_gradient(loss, y, raw), atol=1e-5)
+        np.testing.assert_allclose(hess, 1.0)
+
+    def test_identity_prediction(self):
+        raw = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(SquaredLoss().raw_to_prediction(raw), raw)
+
+
+class TestLogisticLoss:
+    def test_init_score_is_log_odds(self):
+        y = np.array([1.0, 1.0, 1.0, 0.0])
+        expected = np.log(0.75 / 0.25)
+        assert LogisticLoss().init_score(y) == pytest.approx(expected)
+
+    def test_init_score_degenerate_labels(self):
+        # All-positive labels must not produce infinities.
+        score = LogisticLoss().init_score(np.ones(5))
+        assert np.isfinite(score)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        y = (rng.uniform(size=10) < 0.5).astype(float)
+        raw = rng.normal(size=10)
+        loss = LogisticLoss()
+        grad, _ = loss.gradient_hessian(y, raw)
+        np.testing.assert_allclose(grad, numeric_gradient(loss, y, raw), atol=1e-5)
+
+    def test_hessian_positive(self):
+        raw = np.array([-50.0, 0.0, 50.0])
+        _, hess = LogisticLoss().gradient_hessian(np.zeros(3), raw)
+        assert np.all(hess > 0)
+
+    def test_loss_stable_at_extremes(self):
+        loss = LogisticLoss()
+        value = loss.loss(np.array([1.0, 0.0]), np.array([700.0, -700.0]))
+        assert np.isfinite(value)
+        assert value == pytest.approx(0.0, abs=1e-10)
+
+    def test_prediction_is_probability(self):
+        raw = np.linspace(-10, 10, 21)
+        p = LogisticLoss().raw_to_prediction(raw)
+        assert np.all((p > 0) & (p < 1))
+        assert np.all(np.diff(p) > 0)
+
+
+class TestSigmoid:
+    def test_extreme_values(self):
+        assert sigmoid(np.array([800.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-800.0]))[0] == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), 1.0, atol=1e-12)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_loss("l2"), SquaredLoss)
+        assert isinstance(get_loss("binary"), LogisticLoss)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("huber")

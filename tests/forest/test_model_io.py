@@ -1,0 +1,64 @@
+"""Tests for forest serialization (the GEF hand-off format)."""
+
+import numpy as np
+import pytest
+
+from repro.forest import (
+    GradientBoostingRegressor,
+    forest_from_dict,
+    forest_to_dict,
+    forests_equal,
+    load_forest,
+    save_forest,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_predictions(self, small_forest, d_prime_small):
+        clone = forest_from_dict(forest_to_dict(small_forest))
+        X = d_prime_small.X_test[:100]
+        np.testing.assert_allclose(
+            small_forest.predict_raw(X), clone.predict_raw(X)
+        )
+
+    def test_dict_round_trip_preserves_structure(self, small_forest):
+        clone = forest_from_dict(forest_to_dict(small_forest))
+        assert forests_equal(small_forest, clone)
+
+    def test_json_file_round_trip(self, small_forest, d_prime_small, tmp_path):
+        path = tmp_path / "forest.json"
+        save_forest(small_forest, path)
+        clone = load_forest(path)
+        X = d_prime_small.X_test[:50]
+        np.testing.assert_allclose(
+            small_forest.predict_raw(X), clone.predict_raw(X)
+        )
+
+    def test_classifier_round_trip(self, small_classifier, classification_data):
+        X, _ = classification_data
+        clone = forest_from_dict(forest_to_dict(small_classifier))
+        np.testing.assert_allclose(
+            small_classifier.predict_proba(X[:50]), clone.predict_proba(X[:50])
+        )
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            forest_to_dict(GradientBoostingRegressor())
+
+    def test_unknown_class_rejected(self, small_forest):
+        data = forest_to_dict(small_forest)
+        data["model_class"] = "MysteryModel"
+        with pytest.raises(ValueError, match="unknown model class"):
+            forest_from_dict(data)
+
+    def test_forests_equal_detects_differences(self, small_forest):
+        clone = forest_from_dict(forest_to_dict(small_forest))
+        clone.trees_[0].value[0] += 1.0
+        assert not forests_equal(small_forest, clone)
+
+    def test_forests_equal_detects_init_score(self, small_forest):
+        clone = forest_from_dict(forest_to_dict(small_forest))
+        clone.init_score_ += 0.5
+        assert not forests_equal(small_forest, clone)

@@ -1,0 +1,88 @@
+"""Tests for one-vs-rest multiclass boosting."""
+
+import numpy as np
+import pytest
+
+from repro.forest import OneVsRestGBDTClassifier
+
+
+@pytest.fixture(scope="module")
+def three_class_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (1500, 3))
+    # Three regions along x0 with some overlap near the boundaries.
+    y = np.digitize(X[:, 0] + rng.normal(0, 0.05, 1500), [0.33, 0.66])
+    return X, y.astype(float)
+
+
+@pytest.fixture(scope="module")
+def fitted(three_class_data):
+    X, y = three_class_data
+    model = OneVsRestGBDTClassifier(
+        n_estimators=30, num_leaves=8, learning_rate=0.2, random_state=0
+    )
+    model.fit(X, y)
+    return model
+
+
+class TestMulticlass:
+    def test_classes_discovered(self, fitted):
+        np.testing.assert_array_equal(fitted.classes_, [0.0, 1.0, 2.0])
+        assert fitted.n_classes_ == 3
+
+    def test_accuracy(self, fitted, three_class_data):
+        X, y = three_class_data
+        acc = np.mean(fitted.predict(X) == y)
+        assert acc > 0.85
+
+    def test_proba_normalized(self, fitted, three_class_data):
+        X, _ = three_class_data
+        proba = fitted.predict_proba(X[:100])
+        assert proba.shape == (100, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)
+        assert proba.min() >= 0.0
+
+    def test_predict_is_argmax(self, fitted, three_class_data):
+        X, _ = three_class_data
+        proba = fitted.predict_proba(X[:50])
+        labels = fitted.predict(X[:50])
+        np.testing.assert_array_equal(labels, fitted.classes_[np.argmax(proba, 1)])
+
+    def test_per_class_forest_protocol(self, fitted):
+        """Each per-class forest is GEF-explainable (forest protocol)."""
+        forest = fitted.forest_for_class(1.0)
+        assert forest.trees_
+        assert forest.n_features_ == 3
+        assert callable(forest.predict_raw)
+
+    def test_per_class_forest_explainable_by_gef(self, fitted):
+        from repro.core import GEF
+
+        forest = fitted.forest_for_class(2.0)
+        explanation = GEF(
+            n_univariate=1, n_samples=2000, n_splines=8, random_state=0
+        ).explain(forest)
+        # Class 2 lives at high x0: its score must increase with x0.
+        curve = explanation.global_explanation(n_points=30)[0]
+        assert curve.features == (0,)
+        assert curve.contribution[-1] > curve.contribution[0]
+
+    def test_unknown_class_rejected(self, fitted):
+        with pytest.raises(KeyError):
+            fitted.forest_for_class(7.0)
+
+    def test_binary_redirected(self):
+        X = np.random.default_rng(1).uniform(size=(50, 2))
+        y = (X[:, 0] > 0.5).astype(float)
+        with pytest.raises(ValueError, match="binary"):
+            OneVsRestGBDTClassifier(n_estimators=2).fit(X, y)
+
+    def test_single_class_rejected(self):
+        X = np.random.default_rng(2).uniform(size=(50, 2))
+        with pytest.raises(ValueError):
+            OneVsRestGBDTClassifier(n_estimators=2).fit(X, np.zeros(50))
+
+    def test_unfitted(self):
+        model = OneVsRestGBDTClassifier()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((2, 3)))

@@ -1,0 +1,53 @@
+"""Tests for random-forest out-of-bag predictions."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor
+from repro.metrics import r2_score
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (800, 3))
+    y = 3 * X[:, 0] + np.sin(5 * X[:, 1]) + rng.normal(0, 0.05, 800)
+    model = RandomForestRegressor(
+        n_estimators=40, num_leaves=64, min_samples_leaf=5,
+        max_features="all", random_state=0,
+    )
+    model.fit(X, y)
+    return model, X, y
+
+
+class TestOob:
+    def test_oob_estimates_generalization(self, fitted):
+        model, X, y = fitted
+        oob = model.oob_prediction(X)
+        valid = ~np.isnan(oob)
+        assert valid.mean() > 0.99  # with 40 trees almost all rows have OOB
+        oob_r2 = r2_score(y[valid], oob[valid])
+        assert 0.7 < oob_r2 < 1.0
+
+    def test_oob_worse_than_in_bag(self, fitted):
+        """OOB is honest: it must not beat the resubstitution score."""
+        model, X, y = fitted
+        oob = model.oob_prediction(X)
+        valid = ~np.isnan(oob)
+        in_bag_r2 = r2_score(y[valid], model.predict(X[valid]))
+        oob_r2 = r2_score(y[valid], oob[valid])
+        assert oob_r2 <= in_bag_r2 + 1e-9
+
+    def test_requires_bootstrap(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (100, 2))
+        model = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, random_state=0
+        )
+        model.fit(X, X[:, 0])
+        with pytest.raises(ValueError, match="bootstrap"):
+            model.oob_prediction(X)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().oob_prediction(np.zeros((2, 2)))

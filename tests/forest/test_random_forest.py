@@ -1,0 +1,111 @@
+"""Tests for the random forest models."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestClassifier, RandomForestRegressor
+from repro.metrics import r2_score
+
+
+@pytest.fixture(scope="module")
+def rf_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (1200, 4))
+    y = 3 * X[:, 0] + X[:, 1] ** 2 + rng.normal(0, 0.05, 1200)
+    return X[:900], y[:900], X[900:], y[900:]
+
+
+class TestRandomForestRegressor:
+    def test_fits_signal(self, rf_data):
+        X, y, X_test, y_test = rf_data
+        model = RandomForestRegressor(
+            n_estimators=40, max_features="all", random_state=0
+        )
+        model.fit(X, y)
+        assert r2_score(y_test, model.predict(X_test)) > 0.9
+
+    def test_sum_of_trees_protocol(self, rf_data):
+        """RF predictions must decompose as init + sum(trees) like GBDTs."""
+        X, y, X_test, _ = rf_data
+        model = RandomForestRegressor(n_estimators=10, random_state=0)
+        model.fit(X, y)
+        manual = np.full(len(X_test), model.init_score_)
+        for tree in model.trees_:
+            manual += tree.predict(X_test)
+        np.testing.assert_allclose(model.predict(X_test), manual)
+
+    def test_bootstrap_changes_trees(self, rf_data):
+        X, y, _, _ = rf_data
+        model = RandomForestRegressor(n_estimators=3, random_state=0)
+        model.fit(X, y)
+        roots = {
+            (int(t.feature[0]), float(t.threshold[0])) for t in model.trees_
+        }
+        assert len(roots) > 1  # bagging should vary at least the root
+
+    def test_max_features_fraction(self, rf_data):
+        X, y, _, _ = rf_data
+        model = RandomForestRegressor(
+            n_estimators=4, max_features=0.5, random_state=0
+        )
+        model.fit(X, y)
+        for tree in model.trees_:
+            assert len(tree.used_features()) <= 2
+
+    def test_max_features_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_features=0.0).fit(
+                np.zeros((10, 2)), np.zeros(10)
+            )
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_features="log2").fit(
+                np.zeros((10, 2)), np.zeros(10)
+            )
+
+    def test_feature_importance(self, rf_data):
+        X, y, _, _ = rf_data
+        model = RandomForestRegressor(
+            n_estimators=20, max_features="all", random_state=0
+        )
+        model.fit(X, y)
+        imp = model.feature_importance()
+        assert np.argmax(imp) == 0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+
+class TestRandomForestClassifier:
+    @pytest.fixture(scope="class")
+    def clf_and_data(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (1000, 3))
+        y = (X[:, 0] + X[:, 1] > 1.0).astype(float)
+        model = RandomForestClassifier(
+            n_estimators=25, max_features="all", random_state=0
+        )
+        model.fit(X, y)
+        return model, X, y
+
+    def test_accuracy(self, clf_and_data):
+        model, X, y = clf_and_data
+        assert np.mean(model.predict(X) == y) > 0.93
+
+    def test_proba_bounds(self, clf_and_data):
+        model, X, _ = clf_and_data
+        p = model.predict_proba(X)
+        assert p.min() >= 0.0 and p.max() <= 1.0
+
+    def test_proba_is_leaf_fraction_average(self, clf_and_data):
+        """Probabilities come from averaging per-tree class fractions."""
+        model, X, _ = clf_and_data
+        manual = np.full(len(X), model.init_score_)
+        for tree in model.trees_:
+            manual += tree.predict(X)
+        np.testing.assert_allclose(model.predict_proba(X), np.clip(manual, 0, 1))
+
+    def test_rejects_non_binary(self):
+        X = np.random.default_rng(0).uniform(size=(30, 2))
+        with pytest.raises(ValueError, match="binary"):
+            RandomForestClassifier(n_estimators=2).fit(X, np.arange(30.0))

@@ -1,0 +1,56 @@
+"""Tests for human-readable forest dumps."""
+
+import pytest
+
+from repro.forest import GradientBoostingRegressor, dump_tree, forest_summary
+
+from tests.forest.test_tree import make_two_level
+
+
+class TestDumpTree:
+    def test_contains_structure(self):
+        text = dump_tree(make_two_level())
+        assert "x0 <= 0.5" in text
+        assert "x1 <= 0.25" in text
+        assert text.count("leaf:") == 3
+
+    def test_feature_names(self):
+        text = dump_tree(make_two_level(), feature_names=["age", "bmi"])
+        assert "age <= 0.5" in text
+
+    def test_max_depth_truncation(self):
+        text = dump_tree(make_two_level(), max_depth=1)
+        assert "..." in text
+        assert "x1" not in text
+
+    def test_gain_and_cover_shown(self):
+        text = dump_tree(make_two_level())
+        assert "gain=4" in text
+        assert "n=12" in text
+
+
+class TestForestSummary:
+    def test_summary_content(self, small_forest):
+        text = forest_summary(small_forest)
+        assert "40 trees" in text
+        assert "total splits" in text
+        assert "x1" in text  # the dominant sine feature
+
+    def test_feature_names(self, small_forest):
+        names = ["f0", "f1", "f2", "f3", "f4"]
+        text = forest_summary(small_forest, feature_names=names)
+        assert "f1" in text
+
+    def test_unused_feature_note(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (300, 3))
+        X[:, 2] = 0.0
+        forest = GradientBoostingRegressor(n_estimators=5, random_state=0)
+        forest.fit(X, X[:, 0])
+        assert "never used" in forest_summary(forest)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            forest_summary(GradientBoostingRegressor())

@@ -1,0 +1,109 @@
+"""Tests for model-selection utilities (splits, CV, grid search)."""
+
+import numpy as np
+import pytest
+
+from repro.forest import (
+    GradientBoostingRegressor,
+    GridSearch,
+    cross_val_score,
+    kfold_indices,
+    train_test_split,
+)
+from repro.metrics import r2_score
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        X = np.arange(100.0)[:, None]
+        y = np.arange(100.0)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert len(X_te) == 25 and len(X_tr) == 75
+        assert len(y_te) == 25 and len(y_tr) == 75
+
+    def test_partition_is_disjoint_and_complete(self):
+        X = np.arange(50.0)[:, None]
+        y = np.arange(50.0)
+        X_tr, X_te, _, _ = train_test_split(X, y, random_state=1)
+        together = np.sort(np.concatenate([X_tr.ravel(), X_te.ravel()]))
+        np.testing.assert_array_equal(together, np.arange(50.0))
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(40.0)[:, None]
+        y = np.arange(40.0) * 10
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, random_state=2)
+        np.testing.assert_array_equal(X_tr.ravel() * 10, y_tr)
+        np.testing.assert_array_equal(X_te.ravel() * 10, y_te)
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(10), test_size=1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(9))
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = kfold_indices(23, n_splits=5, random_state=0)
+        assert len(folds) == 5
+        all_valid = np.sort(np.concatenate([v for _, v in folds]))
+        np.testing.assert_array_equal(all_valid, np.arange(23))
+
+    def test_train_and_valid_disjoint(self):
+        for train, valid in kfold_indices(30, n_splits=3, random_state=1):
+            assert len(np.intersect1d(train, valid)) == 0
+            assert len(train) + len(valid) == 30
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            kfold_indices(3, n_splits=5)
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, n_splits=1)
+
+
+class TestCrossValAndGrid:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (400, 3))
+        y = 2 * X[:, 0] + rng.normal(0, 0.05, 400)
+        return X, y
+
+    def test_cross_val_score_shape(self, data):
+        X, y = data
+        scores = cross_val_score(
+            lambda: GradientBoostingRegressor(n_estimators=10, random_state=0),
+            X,
+            y,
+            r2_score,
+            n_splits=3,
+            random_state=0,
+        )
+        assert scores.shape == (3,)
+        assert np.all(scores > 0.5)
+
+    def test_grid_search_prefers_more_trees(self, data):
+        X, y = data
+        search = GridSearch(
+            GradientBoostingRegressor,
+            {"n_estimators": [1, 40], "random_state": [0]},
+            r2_score,
+            n_splits=3,
+            random_state=0,
+        )
+        result = search.run(X, y)
+        assert result.best_params["n_estimators"] == 40
+        assert len(result.all_results) == 2
+        assert result.best_score == max(s for _, s in result.all_results)
+
+    def test_empty_grid(self, data):
+        X, y = data
+        search = GridSearch(
+            GradientBoostingRegressor, {"n_estimators": []}, r2_score
+        )
+        with pytest.raises(ValueError):
+            search.run(X, y)

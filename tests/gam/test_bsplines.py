@@ -1,0 +1,137 @@
+"""Tests for the B-spline basis and difference penalties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gam import bspline_design, difference_penalty, uniform_knots
+
+
+class TestUniformKnots:
+    def test_count(self):
+        knots = uniform_knots(0.0, 1.0, n_splines=10, degree=3)
+        assert len(knots) == 10 + 3 + 1
+
+    def test_evenly_spaced(self):
+        knots = uniform_knots(0.0, 1.0, n_splines=8, degree=3)
+        np.testing.assert_allclose(np.diff(knots), np.diff(knots)[0])
+
+    def test_covers_domain(self):
+        knots = uniform_knots(-2.0, 5.0, n_splines=6, degree=3)
+        assert knots[3] == pytest.approx(-2.0)
+        assert knots[-4] == pytest.approx(5.0)
+
+    def test_too_few_splines(self):
+        with pytest.raises(ValueError):
+            uniform_knots(0.0, 1.0, n_splines=3, degree=3)
+
+    def test_degenerate_domain_widened(self):
+        knots = uniform_knots(1.0, 1.0, n_splines=5, degree=3)
+        assert np.all(np.isfinite(knots))
+        assert knots[-1] > knots[0]
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_knots(0.0, np.inf, n_splines=5)
+
+
+class TestBsplineDesign:
+    def test_shape(self):
+        knots = uniform_knots(0.0, 1.0, 12, 3)
+        basis = bspline_design(np.linspace(0, 1, 37), knots, 3)
+        assert basis.shape == (37, 12)
+
+    def test_partition_of_unity(self):
+        knots = uniform_knots(0.0, 1.0, 10, 3)
+        basis = bspline_design(np.linspace(0, 1, 101), knots, 3)
+        np.testing.assert_allclose(basis.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_nonnegative(self):
+        knots = uniform_knots(-3.0, 3.0, 8, 3)
+        basis = bspline_design(np.linspace(-3, 3, 61), knots, 3)
+        assert basis.min() >= -1e-12
+
+    def test_local_support(self):
+        """Each degree-3 basis function touches at most 4 knot intervals."""
+        knots = uniform_knots(0.0, 1.0, 12, 3)
+        basis = bspline_design(np.linspace(0, 1, 200), knots, 3)
+        for j in range(12):
+            support = np.nonzero(basis[:, j] > 1e-12)[0]
+            if support.size:
+                width = (support[-1] - support[0]) / 200
+                assert width <= 4 / (12 - 3) + 0.02
+
+    def test_clamping_gives_constant_extrapolation(self):
+        knots = uniform_knots(0.0, 1.0, 8, 3)
+        inside = bspline_design(np.array([0.0, 1.0 - 1e-9]), knots, 3)
+        outside = bspline_design(np.array([-5.0, 42.0]), knots, 3)
+        np.testing.assert_allclose(outside, inside, atol=1e-6)
+
+    def test_degree_one_is_piecewise_linear(self):
+        knots = uniform_knots(0.0, 1.0, 5, 1)
+        x = np.linspace(0, 1, 11)
+        basis = bspline_design(x, knots, 1)
+        np.testing.assert_allclose(basis.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_knot_vector_too_short(self):
+        with pytest.raises(ValueError):
+            bspline_design(np.array([0.5]), np.array([0.0, 1.0]), 3)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_of_unity_pointwise(self, x):
+        knots = uniform_knots(0.0, 1.0, 9, 3)
+        total = bspline_design(np.array([x]), knots, 3).sum()
+        assert total == pytest.approx(1.0, abs=1e-10)
+
+    @given(st.integers(4, 30), st.floats(-100, 100), st.floats(0.1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_of_unity_any_domain(self, n_splines, lo, span):
+        hi = lo + span
+        knots = uniform_knots(lo, hi, n_splines, 3)
+        x = np.linspace(lo, hi, 23)
+        basis = bspline_design(x, knots, 3)
+        np.testing.assert_allclose(basis.sum(axis=1), 1.0, atol=1e-8)
+
+
+class TestDifferencePenalty:
+    def test_shape_and_symmetry(self):
+        p = difference_penalty(10, order=2)
+        assert p.shape == (10, 10)
+        np.testing.assert_allclose(p, p.T)
+
+    def test_positive_semidefinite(self):
+        p = difference_penalty(12, order=2)
+        eigvals = np.linalg.eigvalsh(p)
+        assert eigvals.min() > -1e-10
+
+    def test_null_space_constant_and_linear(self):
+        """2nd-order penalty must not penalize constant or linear coefs."""
+        p = difference_penalty(8, order=2)
+        const = np.ones(8)
+        linear = np.arange(8.0)
+        assert const @ p @ const == pytest.approx(0.0, abs=1e-12)
+        assert linear @ p @ linear == pytest.approx(0.0, abs=1e-10)
+
+    def test_penalizes_wiggle(self):
+        p = difference_penalty(8, order=2)
+        wiggly = np.array([1.0, -1.0] * 4)
+        assert wiggly @ p @ wiggly > 1.0
+
+    def test_first_order_null_space(self):
+        p = difference_penalty(6, order=1)
+        const = np.ones(6)
+        assert const @ p @ const == pytest.approx(0.0, abs=1e-12)
+        linear = np.arange(6.0)
+        assert linear @ p @ linear > 0
+
+    def test_small_matrices(self):
+        np.testing.assert_array_equal(difference_penalty(1, 2), np.zeros((1, 1)))
+        np.testing.assert_array_equal(difference_penalty(2, 2), np.zeros((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            difference_penalty(0)
+        with pytest.raises(ValueError):
+            difference_penalty(5, order=0)

@@ -1,0 +1,45 @@
+"""Tests for the batch per-term decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.gam import GAM, SplineTerm, TensorTerm
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (2000, 2))
+    y = 2 * X[:, 0] + np.sin(5 * X[:, 1]) + X[:, 0] * X[:, 1] + rng.normal(0, 0.05, 2000)
+    gam = GAM(
+        [SplineTerm(0, 10), SplineTerm(1, 10), TensorTerm(0, 1, 5)], lam=0.1
+    ).fit(X, y)
+    return gam, X
+
+
+class TestDecompose:
+    def test_terms_sum_to_eta(self, fitted):
+        gam, X = fitted
+        parts = gam.decompose(X[:100])
+        total = np.sum(list(parts.values()), axis=0)
+        np.testing.assert_allclose(total, gam.predict_eta(X[:100]), atol=1e-10)
+
+    def test_all_labels_present(self, fitted):
+        gam, X = fitted
+        parts = gam.decompose(X[:5])
+        assert set(parts) == {"intercept", "s(x0)", "s(x1)", "te(x0,x1)"}
+
+    def test_intercept_is_constant(self, fitted):
+        gam, X = fitted
+        intercept = gam.decompose(X[:50])["intercept"]
+        np.testing.assert_allclose(intercept, intercept[0])
+
+    def test_matches_partial_dependence(self, fitted):
+        gam, X = fitted
+        parts = gam.decompose(X[:30])
+        pd = gam.partial_dependence(1, X[:30, 0])
+        np.testing.assert_allclose(parts["s(x0)"], pd, atol=1e-12)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            GAM([SplineTerm(0)]).decompose(np.zeros((2, 1)))

@@ -1,0 +1,61 @@
+"""Tests for GAM diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.gam import GAM, SplineTerm, diagnose
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (3000, 2))
+    y = 3 * X[:, 0] + 0.3 * np.sin(6 * X[:, 1]) + rng.normal(0, 0.05, 3000)
+    gam = GAM([SplineTerm(0, 10), SplineTerm(1, 10)], lam=0.1).fit(X, y)
+    return gam, X, y
+
+
+class TestDiagnose:
+    def test_deviance_explained_high_for_good_fit(self, fitted):
+        gam, X, y = fitted
+        d = diagnose(gam, X, y)
+        assert d.deviance_explained > 0.95
+
+    def test_variance_shares_sum_to_one(self, fitted):
+        gam, X, y = fitted
+        d = diagnose(gam, X, y)
+        assert sum(d.term_variance_share.values()) == pytest.approx(1.0)
+
+    def test_dominant_term_identified(self, fitted):
+        gam, X, y = fitted
+        d = diagnose(gam, X, y)
+        # 3*x0 dwarfs 0.3*sin(6 x1).
+        assert d.term_variance_share["s(x0)"] > d.term_variance_share["s(x1)"]
+
+    def test_residual_quantiles_ordered(self, fitted):
+        gam, X, y = fitted
+        q = diagnose(gam, X, y).residual_quantiles
+        assert q["min"] <= q["q25"] <= q["median"] <= q["q75"] <= q["max"]
+
+    def test_summary_text(self, fitted):
+        gam, X, y = fitted
+        text = diagnose(gam, X, y).summary()
+        assert "deviance explained" in text
+        assert "s(x0)" in text
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            diagnose(GAM([SplineTerm(0)]), np.zeros((2, 1)), np.zeros(2))
+
+    def test_length_mismatch(self, fitted):
+        gam, X, y = fitted
+        with pytest.raises(ValueError):
+            diagnose(gam, X, y[:-1])
+
+    def test_null_model_zero_explained(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (800, 1))
+        y = rng.normal(size=800)  # pure noise
+        gam = GAM([SplineTerm(0, 8)], lam=1e6).fit(X, y)
+        d = diagnose(gam, X, y)
+        assert abs(d.deviance_explained) < 0.05

@@ -1,0 +1,83 @@
+"""Tests for GCV-based smoothing-parameter selection."""
+
+import numpy as np
+import pytest
+
+from repro.gam import GAM, SplineTerm, default_lam_grid, gcv_gridsearch
+
+
+@pytest.fixture(scope="module")
+def wiggly_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (3000, 1))
+    y = np.sin(12 * X[:, 0]) + rng.normal(0, 0.2, 3000)
+    return X, y
+
+
+class TestGcvSearch:
+    def test_selects_from_grid(self, wiggly_data):
+        X, y = wiggly_data
+        gam = GAM([SplineTerm(0, 20)])
+        grid = np.logspace(-3, 3, 7)
+        gam.gridsearch(X, y, lam_grid=grid)
+        assert gam.lam in grid
+
+    def test_lam_path_recorded(self, wiggly_data):
+        X, y = wiggly_data
+        gam = GAM([SplineTerm(0, 20)])
+        gam.gridsearch(X, y, lam_grid=np.logspace(-2, 2, 5))
+        path = gam.statistics_["lam_path"]
+        assert len(path) == 5
+        best_gcv = min(g for _, g in path)
+        assert gam.statistics_["GCV"] == pytest.approx(best_gcv, rel=1e-9)
+
+    def test_fast_path_matches_direct_fit(self, wiggly_data):
+        """The Gram-reuse identity path must equal an ordinary fit."""
+        X, y = wiggly_data
+        fast = GAM([SplineTerm(0, 14)])
+        gcv_gridsearch(fast, X, y, lam_grid=np.array([0.5]))
+        direct = GAM([SplineTerm(0, 14)], lam=0.5).fit(X, y)
+        # Coefficients can differ in the weakly determined penalty null
+        # space (tiny ridge); the fitted function must agree regardless.
+        np.testing.assert_allclose(fast.predict(X), direct.predict(X), atol=1e-7)
+        assert fast.statistics_["GCV"] == pytest.approx(
+            direct.statistics_["GCV"], rel=1e-6
+        )
+
+    def test_gcv_avoids_extreme_smoothing(self, wiggly_data):
+        """With real curvature, GCV should reject the most extreme lambda."""
+        X, y = wiggly_data
+        gam = GAM([SplineTerm(0, 20)])
+        gam.gridsearch(X, y, lam_grid=np.logspace(-4, 6, 11))
+        assert gam.lam < 1e6
+
+    def test_selected_model_predicts_well(self, wiggly_data):
+        X, y = wiggly_data
+        gam = GAM([SplineTerm(0, 20)])
+        gam.gridsearch(X, y)
+        resid = y - gam.predict(X)
+        assert np.std(resid) < 0.25
+
+    def test_empty_grid_rejected(self, wiggly_data):
+        X, y = wiggly_data
+        with pytest.raises(ValueError):
+            GAM([SplineTerm(0, 8)]).gridsearch(X, y, lam_grid=np.array([]))
+
+    def test_negative_lambda_rejected(self, wiggly_data):
+        X, y = wiggly_data
+        with pytest.raises(ValueError):
+            GAM([SplineTerm(0, 8)]).gridsearch(X, y, lam_grid=np.array([-1.0]))
+
+    def test_default_grid_spans_orders_of_magnitude(self):
+        grid = default_lam_grid()
+        assert grid.min() <= 1e-3 and grid.max() >= 1e3
+
+    def test_logit_gridsearch(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (1500, 1))
+        p = 1 / (1 + np.exp(-(8 * X[:, 0] - 4)))
+        y = (rng.uniform(size=1500) < p).astype(float)
+        gam = GAM([SplineTerm(0, 8)], link="logit")
+        gam.gridsearch(X, y, lam_grid=np.logspace(-1, 1, 3))
+        assert len(gam.statistics_["lam_path"]) == 3
+        assert np.mean(np.abs(gam.predict_mu(X) - p)) < 0.08

@@ -1,0 +1,94 @@
+"""Tests for link functions and response distributions."""
+
+import numpy as np
+import pytest
+
+from repro.gam import (
+    BinomialDistribution,
+    IdentityLink,
+    LogitLink,
+    NormalDistribution,
+    get_distribution,
+    get_link,
+)
+
+
+class TestIdentityLink:
+    def test_round_trip(self):
+        link = IdentityLink()
+        mu = np.linspace(-5, 5, 11)
+        np.testing.assert_array_equal(link.inverse(link.link(mu)), mu)
+
+    def test_derivative(self):
+        np.testing.assert_array_equal(
+            IdentityLink().derivative(np.array([1.0, 2.0])), [1.0, 1.0]
+        )
+
+
+class TestLogitLink:
+    def test_round_trip(self):
+        link = LogitLink()
+        mu = np.linspace(0.01, 0.99, 21)
+        np.testing.assert_allclose(link.inverse(link.link(mu)), mu, atol=1e-10)
+
+    def test_inverse_stable_at_extremes(self):
+        out = LogitLink().inverse(np.array([-1e4, 1e4]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_link_clips_boundaries(self):
+        out = LogitLink().link(np.array([0.0, 1.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_derivative_matches_numeric(self):
+        link = LogitLink()
+        mu = np.array([0.2, 0.5, 0.8])
+        eps = 1e-7
+        numeric = (link.link(mu + eps) - link.link(mu - eps)) / (2 * eps)
+        np.testing.assert_allclose(link.derivative(mu), numeric, rtol=1e-4)
+
+
+class TestDistributions:
+    def test_normal_deviance_is_rss(self):
+        y = np.array([1.0, 2.0, 3.0])
+        mu = np.array([1.0, 1.0, 1.0])
+        assert NormalDistribution().deviance(y, mu) == pytest.approx(5.0)
+
+    def test_normal_variance_constant(self):
+        np.testing.assert_array_equal(
+            NormalDistribution().variance(np.array([0.1, 10.0])), [1.0, 1.0]
+        )
+
+    def test_binomial_variance_peak_at_half(self):
+        v = BinomialDistribution().variance(np.array([0.1, 0.5, 0.9]))
+        assert v[1] == pytest.approx(0.25)
+        assert v[1] > v[0] and v[1] > v[2]
+
+    def test_binomial_deviance_zero_for_perfect_fit(self):
+        y = np.array([0.0, 1.0, 1.0])
+        dev = BinomialDistribution().deviance(y, y)
+        assert dev == pytest.approx(0.0, abs=1e-6)
+
+    def test_binomial_deviance_positive_for_misfit(self):
+        y = np.array([0.0, 1.0])
+        mu = np.array([0.9, 0.1])
+        assert BinomialDistribution().deviance(y, mu) > 1.0
+
+    def test_binomial_deviance_handles_boundary_mu(self):
+        y = np.array([1.0, 0.0])
+        mu = np.array([1.0, 0.0])
+        assert np.isfinite(BinomialDistribution().deviance(y, mu))
+
+
+class TestRegistries:
+    def test_link_lookup(self):
+        assert isinstance(get_link("identity"), IdentityLink)
+        assert isinstance(get_link("logit"), LogitLink)
+        with pytest.raises(ValueError):
+            get_link("probit")
+
+    def test_distribution_lookup(self):
+        assert isinstance(get_distribution("normal"), NormalDistribution)
+        assert isinstance(get_distribution("binomial"), BinomialDistribution)
+        with pytest.raises(ValueError):
+            get_distribution("poisson")

@@ -1,0 +1,62 @@
+"""Tests for per-term smoothing parameters (the paper's lambda_j)."""
+
+import numpy as np
+import pytest
+
+from repro.gam import GAM, SplineTerm
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (3000, 2))
+    y = np.sin(10 * X[:, 0]) + np.sin(10 * X[:, 1]) + rng.normal(0, 0.05, 3000)
+    return X, y
+
+
+class TestPerTermLambda:
+    def test_sequence_matching_given_terms(self, data):
+        X, y = data
+        gam = GAM([SplineTerm(0, 14), SplineTerm(1, 14)], lam=[0.1, 100.0])
+        gam.fit(X, y)
+        # Term 1 is heavily smoothed: its contribution must be flatter.
+        grid = np.linspace(0, 1, 50)
+        rough = gam.partial_dependence(1, grid)
+        smooth = gam.partial_dependence(2, grid)
+        assert np.std(smooth) < np.std(rough)
+
+    def test_sequence_matching_final_terms(self, data):
+        X, y = data
+        gam = GAM([SplineTerm(0, 10), SplineTerm(1, 10)], lam=[0.0, 1.0, 1.0])
+        gam.fit(X, y)
+        assert gam.coef_ is not None
+
+    def test_scalar_equivalent_to_uniform_sequence(self, data):
+        X, y = data
+        shared = GAM([SplineTerm(0, 10), SplineTerm(1, 10)], lam=0.5).fit(X, y)
+        explicit = GAM([SplineTerm(0, 10), SplineTerm(1, 10)], lam=[0.5, 0.5]).fit(X, y)
+        np.testing.assert_allclose(
+            shared.predict(X[:50]), explicit.predict(X[:50]), atol=1e-8
+        )
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            GAM([SplineTerm(0), SplineTerm(1)], lam=[0.1, 0.2, 0.3, 0.4])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GAM([SplineTerm(0)], lam=[-1.0])
+        with pytest.raises(ValueError):
+            GAM([SplineTerm(0)], lam=-1.0)
+
+    def test_summary_renders_array_lam(self, data):
+        X, y = data
+        gam = GAM([SplineTerm(0, 10), SplineTerm(1, 10)], lam=[0.1, 10.0]).fit(X, y)
+        assert "lam=" in gam.summary()
+
+    def test_gridsearch_still_works_after_per_term(self, data):
+        """gridsearch selects a shared scalar, overriding per-term lam."""
+        X, y = data
+        gam = GAM([SplineTerm(0, 10), SplineTerm(1, 10)], lam=[0.1, 10.0])
+        gam.gridsearch(X, y, lam_grid=np.array([0.5, 5.0]))
+        assert np.isscalar(gam.lam)

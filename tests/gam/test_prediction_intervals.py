@@ -1,0 +1,69 @@
+"""Tests for GAM mean-prediction credible intervals."""
+
+import numpy as np
+import pytest
+
+from repro.gam import GAM, SplineTerm
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (3000, 1))
+    y = np.sin(6 * X[:, 0]) + rng.normal(0, 0.1, 3000)
+    gam = GAM([SplineTerm(0, 12)], lam=0.5).fit(X, y)
+    return gam, X, y
+
+
+class TestPredictionIntervals:
+    def test_shape_and_ordering(self, fitted):
+        gam, X, _ = fitted
+        intervals = gam.prediction_intervals(X[:50])
+        assert intervals.shape == (50, 2)
+        assert np.all(intervals[:, 0] <= intervals[:, 1])
+
+    def test_contains_point_prediction(self, fitted):
+        gam, X, _ = fitted
+        pred = gam.predict(X[:50])
+        intervals = gam.prediction_intervals(X[:50])
+        assert np.all(intervals[:, 0] <= pred)
+        assert np.all(pred <= intervals[:, 1])
+
+    def test_wider_width_wider_intervals(self, fitted):
+        gam, X, _ = fitted
+        narrow = gam.prediction_intervals(X[:20], width=0.5)
+        wide = gam.prediction_intervals(X[:20], width=0.99)
+        assert np.all(
+            (wide[:, 1] - wide[:, 0]) > (narrow[:, 1] - narrow[:, 0])
+        )
+
+    def test_covers_the_true_mean(self, fitted):
+        """The 95% band should contain the noise-free mean almost always
+        (intervals are for the mean, not for new observations)."""
+        gam, _, _ = fitted
+        grid = np.linspace(0.05, 0.95, 200)[:, None]
+        truth = np.sin(6 * grid[:, 0])
+        intervals = gam.prediction_intervals(grid, width=0.95)
+        covered = np.mean(
+            (intervals[:, 0] <= truth) & (truth <= intervals[:, 1])
+        )
+        assert covered > 0.8
+
+    def test_logit_intervals_stay_in_unit_range(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (2000, 1))
+        p = 1 / (1 + np.exp(-(6 * X[:, 0] - 3)))
+        y = (rng.uniform(size=2000) < p).astype(float)
+        gam = GAM([SplineTerm(0, 8)], link="logit", lam=1.0).fit(X, y)
+        intervals = gam.prediction_intervals(X[:100])
+        assert intervals.min() >= 0.0
+        assert intervals.max() <= 1.0
+
+    def test_width_validation(self, fitted):
+        gam, X, _ = fitted
+        with pytest.raises(ValueError):
+            gam.prediction_intervals(X[:5], width=1.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            GAM([SplineTerm(0)]).prediction_intervals(np.zeros((2, 1)))

@@ -1,0 +1,200 @@
+"""Cross-module integration tests: full pipelines exercised end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEF, compare_with_shap, explanation_report
+from repro.datasets import load_census, load_superconductivity
+from repro.forest import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+    load_forest,
+    save_forest,
+)
+from repro.metrics import accuracy, r2_score, roc_auc
+from repro.xai import LimeTabularExplainer, ShapGlobalExplainer, TreeShapExplainer
+
+
+class TestHandoffScenario:
+    """Owner trains -> JSON on disk -> auditor explains, no shared state."""
+
+    def test_round_trip_explanation_identical(
+        self, small_forest, d_prime_small, tmp_path
+    ):
+        path = tmp_path / "model.json"
+        save_forest(small_forest, path)
+        loaded = load_forest(path)
+
+        cfg = dict(n_univariate=3, n_samples=3000, k_points=40, random_state=0)
+        from_original = GEF(**cfg).explain(small_forest)
+        from_file = GEF(**cfg).explain(loaded)
+
+        X = d_prime_small.X_test[:200]
+        np.testing.assert_allclose(
+            from_original.predict(X), from_file.predict(X), atol=1e-10
+        )
+
+    def test_report_from_loaded_forest(self, small_forest, tmp_path):
+        path = tmp_path / "model.json"
+        save_forest(small_forest, path)
+        explanation = GEF(
+            n_univariate=3, n_samples=2000, random_state=0
+        ).explain(load_forest(path))
+        report = explanation_report(explanation, instance=np.full(5, 0.5))
+        assert "GEF EXPLANATION REPORT" in report
+        assert "LOCAL EXPLANATION" in report
+
+
+class TestSuperconductivityPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = load_superconductivity(n=3000, seed=0)
+        forest = GradientBoostingRegressor(
+            n_estimators=40, num_leaves=24, learning_rate=0.2, random_state=0
+        )
+        forest.fit(data.X_train, data.y_train)
+        return data, forest
+
+    def test_forest_quality(self, setup):
+        data, forest = setup
+        assert r2_score(data.y_test, forest.predict(data.X_test)) > 0.85
+
+    def test_gef_selects_true_drivers(self, setup):
+        data, forest = setup
+        explanation = GEF(
+            n_univariate=5, n_samples=5000, n_splines=10, random_state=0
+        ).explain(forest, feature_names=data.feature_names)
+        weam = data.feature_index("wtd_entropy_atomic_mass")
+        assert weam in explanation.features
+
+    def test_weam_jump_visible_in_spline(self, setup):
+        data, forest = setup
+        explanation = GEF(
+            n_univariate=3,
+            n_samples=8000,
+            sampling_strategy="equi-width",
+            k_points=200,
+            n_splines=12,
+            random_state=0,
+        ).explain(forest, feature_names=data.feature_names)
+        weam = data.feature_index("wtd_entropy_atomic_mass")
+        term_index = next(
+            i for i, t in enumerate(explanation.gam.terms)
+            if t.features == (weam,)
+        )
+        grid = np.linspace(0.6, 1.6, 60)
+        pd = explanation.gam.partial_dependence(term_index, grid)
+        # Contribution above the jump is much higher than below it.
+        assert pd[grid > 1.3].mean() > pd[grid < 0.9].mean() + 10.0
+
+
+class TestCensusPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = load_census(n=4000, seed=0)
+        forest = GradientBoostingClassifier(
+            n_estimators=40, num_leaves=16, learning_rate=0.2, random_state=0
+        )
+        forest.fit(data.X_train, data.y_train)
+        return data, forest
+
+    def test_forest_quality(self, setup):
+        data, forest = setup
+        auc = roc_auc(data.y_test, forest.predict_proba(data.X_test))
+        assert auc > 0.8
+        assert accuracy(data.y_test, forest.predict(data.X_test)) > 0.75
+
+    def test_probability_surrogate_tracks_forest(self, setup):
+        data, forest = setup
+        explanation = GEF(
+            n_univariate=6,
+            n_samples=6000,
+            sampling_strategy="k-quantile",
+            k_points=100,
+            n_splines=8,
+            random_state=0,
+        ).explain(forest, feature_names=data.feature_names)
+        X = data.X_test[:500]
+        gap = np.abs(explanation.predict(X) - forest.predict_proba(X))
+        # A 6-component additive surrogate of a 51-feature forest: mean
+        # probability gap close to one decile is the expected fidelity.
+        assert np.mean(gap) < 0.12
+
+    def test_one_hot_features_become_factor_terms(self, setup):
+        data, forest = setup
+        explanation = GEF(
+            n_univariate=8, n_samples=3000, random_state=0
+        ).explain(forest, feature_names=data.feature_names)
+        from repro.gam import FactorTerm
+
+        one_hot = {
+            i for i, name in enumerate(data.feature_names) if "=" in name
+        }
+        for idx, term in enumerate(explanation.gam.terms):
+            if term.features and term.features[0] in one_hot:
+                assert isinstance(term, FactorTerm)
+
+
+class TestExplainerAgreement:
+    """GEF, SHAP and LIME must tell one consistent story about one forest."""
+
+    def test_three_way_consistency(self, small_forest, d_prime_small):
+        explanation = GEF(
+            n_univariate=5,
+            sampling_strategy="all-thresholds",
+            n_samples=6000,
+            n_splines=14,
+            random_state=0,
+        ).explain(small_forest)
+        X = d_prime_small.X_test[:60]
+
+        shap_global = ShapGlobalExplainer(small_forest).explain(X)
+        consistency = compare_with_shap(explanation, shap_global)
+        assert consistency.mean_correlation() > 0.7
+
+        # LIME on one instance: its top feature should carry a large
+        # GEF contribution too.
+        lime = LimeTabularExplainer(d_prime_small.X_train, random_state=0)
+        x = X[0]
+        lime_exp = lime.explain_instance(x, small_forest.predict)
+        local = explanation.local_explanation(x)
+        gef_top_features = {c.features[0] for c in local.contributions[:3]}
+        assert int(lime_exp.feature_indices[0]) in gef_top_features
+
+
+class TestRandomForestPipeline:
+    def test_rf_end_to_end(self, d_prime_small):
+        forest = RandomForestRegressor(
+            n_estimators=15,
+            num_leaves=64,
+            min_samples_leaf=10,
+            max_features="all",
+            random_state=0,
+        )
+        forest.fit(d_prime_small.X_train, d_prime_small.y_train)
+        explanation = GEF(
+            n_univariate=5,
+            sampling_strategy="equi-width",
+            k_points=150,
+            n_samples=8000,
+            n_splines=14,
+            random_state=0,
+        ).explain(forest)
+        X = d_prime_small.X_test
+        fidelity = r2_score(forest.predict(X), explanation.predict(X))
+        assert fidelity > 0.85
+
+    def test_treeshap_on_rf_local_accuracy(self, d_prime_small):
+        forest = RandomForestRegressor(
+            n_estimators=8, num_leaves=32, max_features="all", random_state=0
+        )
+        forest.fit(d_prime_small.X_train, d_prime_small.y_train)
+        explainer = TreeShapExplainer(forest)
+        X = d_prime_small.X_test[:20]
+        phi = explainer.shap_values(X)
+        np.testing.assert_allclose(
+            explainer.expected_value + phi.sum(axis=1),
+            forest.predict(X),
+            atol=1e-9,
+        )

@@ -1,0 +1,85 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import accuracy, log_loss, roc_auc
+
+
+class TestAccuracy:
+    def test_known_value(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.75)
+
+    def test_perfect(self):
+        y = np.array([0, 1, 1])
+        assert accuracy(y, y) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0])
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestLogLoss:
+    def test_perfect_predictions_near_zero(self):
+        y = np.array([0.0, 1.0])
+        assert log_loss(y, np.array([1e-13, 1 - 1e-13])) < 1e-10
+
+    def test_uninformative_is_log2(self):
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        assert log_loss(y, np.full(4, 0.5)) == pytest.approx(np.log(2))
+
+    def test_confident_mistake_penalized(self):
+        bad = log_loss(np.array([1.0]), np.array([0.01]))
+        mild = log_loss(np.array([1.0]), np.array([0.4]))
+        assert bad > mild
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            log_loss(np.array([0.0, 2.0]), np.array([0.5, 0.5]))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1], dtype=float)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(y, scores) == 1.0
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1], dtype=float)
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = (rng.uniform(size=2000) < 0.5).astype(float)
+        scores = rng.uniform(size=2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_contribute_half(self):
+        y = np.array([0, 1], dtype=float)
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(y, scores) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        y = (rng.uniform(size=50) < 0.4).astype(float)
+        scores = rng.normal(size=50)
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        expected = wins / (len(pos) * len(neg))
+        assert roc_auc(y, scores) == pytest.approx(expected)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(5), np.arange(5.0))
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(2)
+        y = (rng.uniform(size=100) < 0.5).astype(float)
+        scores = rng.normal(size=100)
+        a = roc_auc(y, scores)
+        b = roc_auc(y, np.exp(scores))
+        assert a == pytest.approx(b)

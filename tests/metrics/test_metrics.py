@@ -1,0 +1,180 @@
+"""Tests for evaluation metrics and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    average_precision,
+    gaussian_kde_1d,
+    mae,
+    precision_at_k,
+    r2_score,
+    rmse,
+    welch_ttest,
+)
+
+
+class TestRegressionMetrics:
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_zero_for_perfect(self):
+        y = np.arange(10.0)
+        assert rmse(y, y) == 0.0
+
+    def test_mae_known_value(self):
+        assert mae([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_r2_perfect_fit(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_can_be_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([10.0, -10.0, 10.0])) < 0
+
+    def test_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [3.0, 3.0]) == -np.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rmse_at_least_mae(self, values):
+        """RMSE >= MAE for any error vector (power-mean inequality)."""
+        y = np.asarray(values)
+        pred = np.zeros_like(y)
+        assert rmse(y, pred) >= mae(y, pred) - 1e-12
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        rel = np.array([True, True, False, False])
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        assert average_precision(rel, scores) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        rel = np.array([True, False, False])
+        scores = np.array([1.0, 3.0, 2.0])
+        assert average_precision(rel, scores) == pytest.approx(1.0 / 3.0)
+
+    def test_known_mixed_case(self):
+        # Ranked: rel, non, rel -> AP = (1/1 + 2/3) / 2.
+        rel = np.array([True, False, True])
+        scores = np.array([3.0, 2.0, 1.0])
+        assert average_precision(rel, scores) == pytest.approx((1.0 + 2.0 / 3.0) / 2)
+
+    def test_no_relevant_items_rejected(self):
+        with pytest.raises(ValueError):
+            average_precision(np.array([False, False]), np.array([1.0, 2.0]))
+
+    def test_precision_at_k(self):
+        rel = np.array([True, False, True, False])
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        assert precision_at_k(rel, scores, 1) == 1.0
+        assert precision_at_k(rel, scores, 2) == 0.5
+        with pytest.raises(ValueError):
+            precision_at_k(rel, scores, 0)
+
+    @given(
+        st.lists(st.booleans(), min_size=2, max_size=30).filter(any),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ap_bounded(self, relevance):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=len(relevance))
+        ap = average_precision(np.asarray(relevance), scores)
+        n_rel = sum(relevance)
+        n = len(relevance)
+        # Tight bounds: worst case puts all relevant items last.
+        worst = sum(i / (n - n_rel + i) for i in range(1, n_rel + 1)) / n_rel
+        assert worst - 1e-9 <= ap <= 1.0 + 1e-9
+
+
+class TestWelch:
+    def test_identical_samples_not_significant(self):
+        a = np.arange(20.0)
+        result = welch_ttest(a, a.copy())
+        assert result.p_value > 0.9
+        assert not result.significant()
+
+    def test_clearly_different_samples(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(5, 1, 50)
+        result = welch_ttest(a, b)
+        assert result.p_value < 1e-6
+        assert result.significant()
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(0.5, 2, 40)
+        r_ab = welch_ttest(a, b)
+        r_ba = welch_ttest(b, a)
+        assert r_ab.p_value == pytest.approx(r_ba.p_value)
+        assert r_ab.statistic == pytest.approx(-r_ba.statistic)
+
+    def test_matches_scipy(self):
+        from scipy import stats as sps
+
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 25)
+        b = rng.normal(0.3, 1.5, 35)
+        ours = welch_ttest(a, b)
+        ref = sps.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue)
+
+    def test_constant_samples(self):
+        result = welch_ttest(np.ones(5), np.ones(5))
+        assert result.p_value == 1.0
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            welch_ttest(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestKde:
+    def test_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=500)
+        grid = np.linspace(-6, 6, 1000)
+        dens = gaussian_kde_1d(samples, grid)
+        integral = np.trapezoid(dens, grid)
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_near_mode(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(3.0, 0.5, 400)
+        grid = np.linspace(0, 6, 200)
+        dens = gaussian_kde_1d(samples, grid)
+        assert abs(grid[np.argmax(dens)] - 3.0) < 0.5
+
+    def test_custom_bandwidth(self):
+        samples = np.array([0.0, 1.0])
+        grid = np.array([0.5])
+        wide = gaussian_kde_1d(samples, grid, bandwidth=10.0)
+        narrow = gaussian_kde_1d(samples, grid, bandwidth=0.01)
+        assert wide[0] < narrow[0] or narrow[0] == pytest.approx(0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_kde_1d(np.array([]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            gaussian_kde_1d(np.array([1.0]), np.array([0.0]), bandwidth=-1.0)

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.forest import save_forest
+
+
+@pytest.fixture(scope="module")
+def model_path(small_forest, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.json"
+    save_forest(small_forest, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--out", "x.json"])
+
+    def test_unknown_strategy_rejected(self, model_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explain", str(model_path), "--strategy", "halton"]
+            )
+
+
+class TestTrain:
+    def test_train_d_prime(self, tmp_path, capsys):
+        out = tmp_path / "trained.json"
+        code = main([
+            "train", "--dataset", "d-prime", "--out", str(out),
+            "--trees", "10", "--seed", "0",
+        ])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "test R2" in captured
+
+    def test_train_census_classifier(self, tmp_path, capsys):
+        out = tmp_path / "census.json"
+        code = main([
+            "train", "--dataset", "census", "--out", str(out),
+            "--trees", "5", "--seed", "0",
+        ])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_summary_printed(self, model_path, capsys):
+        assert main(["inspect", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "40 trees" in out
+        assert "per-feature splits" in out
+
+
+class TestExplain:
+    def test_report_to_stdout(self, model_path, capsys):
+        code = main([
+            "explain", str(model_path),
+            "--splines", "3", "--samples", "2000", "--k", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GEF EXPLANATION REPORT" in out
+
+    def test_report_to_file_with_instance(self, model_path, tmp_path, capsys):
+        report_path = tmp_path / "report.txt"
+        code = main([
+            "explain", str(model_path),
+            "--splines", "3", "--samples", "2000", "--k", "40",
+            "--instance", "0.5,0.5,0.5,0.5,0.5",
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        text = report_path.read_text()
+        assert "LOCAL EXPLANATION" in text
+        assert "fidelity" in capsys.readouterr().out
+
+    def test_wrong_instance_width_is_an_error(self, model_path, capsys):
+        code = main([
+            "explain", str(model_path),
+            "--samples", "2000", "--instance", "0.5,0.5",
+        ])
+        assert code == 2
+        assert "expects 5" in capsys.readouterr().err
+
+    def test_save_then_report_round_trip(self, model_path, tmp_path, capsys):
+        archive = tmp_path / "explanation.json"
+        code = main([
+            "explain", str(model_path),
+            "--splines", "3", "--samples", "2000", "--k", "40",
+            "--save", str(archive), "--report", str(tmp_path / "r.txt"),
+        ])
+        assert code == 0
+        assert archive.exists()
+        capsys.readouterr()
+        code = main([
+            "report", str(archive), "--instance", "0.5,0.5,0.5,0.5,0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GEF EXPLANATION REPORT" in out
+        assert "LOCAL EXPLANATION" in out

@@ -1,0 +1,148 @@
+"""Tests for the ASCII renderers and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    bar_chart,
+    export_series,
+    export_table,
+    heatmap,
+    line_chart,
+    multi_line_chart,
+    rug,
+)
+
+
+class TestLineCharts:
+    def test_line_chart_contains_axes_and_title(self):
+        x = np.linspace(0, 1, 30)
+        out = line_chart(x, np.sin(x), title="sine")
+        assert "sine" in out
+        assert "+" in out and "|" in out
+
+    def test_multi_line_distinct_symbols(self):
+        x = np.linspace(0, 1, 20)
+        out = multi_line_chart(x, {"a": x, "b": 1 - x})
+        assert "* a" in out and "o b" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line_chart(np.arange(3.0), {"a": np.arange(4.0)})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line_chart(np.arange(3.0), {})
+
+    def test_axis_labels_show_ranges(self):
+        x = np.linspace(5, 9, 10)
+        out = line_chart(x, x * 2)
+        assert "5" in out and "9" in out
+
+
+class TestBarChart:
+    def test_magnitudes_scale(self):
+        out = bar_chart(["big", "small"], np.array([10.0, 1.0]))
+        lines = out.splitlines()
+        assert lines[0].count("+") > lines[1].count("+")
+
+    def test_negative_values_marked(self):
+        out = bar_chart(["neg"], np.array([-5.0]))
+        assert "-" in out
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], np.array([1.0, 2.0]))
+
+
+class TestHeatmap:
+    def test_contains_labels_and_range(self):
+        m = np.array([[0.0, 1.0], [2.0, 3.0]])
+        out = heatmap(m, row_labels=["r0", "r1"], col_labels=["c0", "c1"])
+        assert "r0" in out and "c1" in out
+        assert "range" in out
+
+    def test_handles_nan(self):
+        m = np.array([[0.0, np.nan]])
+        out = heatmap(m)
+        assert "nan" in out
+
+
+class TestScatterChart:
+    def test_points_rendered(self):
+        from repro.viz import scatter_chart
+
+        rng = np.random.default_rng(0)
+        out = scatter_chart(rng.uniform(size=40), rng.uniform(size=40))
+        assert "." in out
+
+    def test_overlay_curve(self):
+        from repro.viz import scatter_chart
+
+        x = np.linspace(0, 1, 30)
+        out = scatter_chart(
+            x, x**2, overlay=(x, x**2), title="dependence"
+        )
+        assert "*" in out
+        assert "overlay" in out
+        assert "dependence" in out
+
+    def test_length_mismatch(self):
+        from repro.viz import scatter_chart
+
+        with pytest.raises(ValueError):
+            scatter_chart(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            scatter_chart(
+                np.arange(3.0), np.arange(3.0),
+                overlay=(np.arange(2.0), np.arange(3.0)),
+            )
+
+
+class TestRug:
+    def test_ticks_present(self):
+        out = rug(np.array([0.0, 0.5, 1.0]), 0.0, 1.0, width=21, label="x")
+        assert out.count("|") >= 2
+        assert out.strip().startswith("x")
+
+
+class TestExport:
+    def test_series_round_trip(self, tmp_path):
+        path = export_series(
+            tmp_path / "fig.csv", {"k": np.array([1, 2]), "rmse": np.array([0.5, 0.4])}
+        )
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["k", "rmse"]
+        assert len(rows) == 3
+
+    def test_series_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series(
+                tmp_path / "bad.csv",
+                {"a": np.array([1.0]), "b": np.array([1.0, 2.0])},
+            )
+
+    def test_series_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series(tmp_path / "bad.csv", {})
+
+    def test_table_round_trip(self, tmp_path):
+        path = export_table(
+            tmp_path / "tab.csv", ["metric", "value"], [["ap", 0.45], ["sd", 0.17]]
+        )
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        assert rows[1] == ["ap", "0.45"]
+
+    def test_table_width_check(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_table(tmp_path / "bad.csv", ["a", "b"], [["only-one"]])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_series(
+            tmp_path / "deep" / "nested" / "f.csv", {"x": np.array([1.0])}
+        )
+        assert path.exists()

@@ -1,0 +1,63 @@
+"""Tests for the Friedman-Popescu H-statistic."""
+
+import numpy as np
+import pytest
+
+from repro.xai import h_statistic, h_statistic_matrix
+
+
+def additive_model(X):
+    return 2 * X[:, 0] + np.sin(3 * X[:, 1]) + X[:, 2]
+
+
+def interactive_model(X):
+    return X[:, 0] * X[:, 1] * 3 + X[:, 2]
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return np.random.default_rng(0).uniform(0, 1, (60, 3))
+
+
+class TestHStatistic:
+    def test_additive_pair_near_zero(self, sample):
+        h = h_statistic(additive_model, sample, 0, 1)
+        assert h == pytest.approx(0.0, abs=1e-10)
+
+    def test_interactive_pair_large(self, sample):
+        h = h_statistic(interactive_model, sample, 0, 1)
+        assert h > 0.1
+
+    def test_ranks_true_interaction_first(self, sample):
+        scores = h_statistic_matrix(interactive_model, sample, [0, 1, 2])
+        best = max(scores, key=scores.get)
+        assert best == (0, 1)
+
+    def test_matrix_covers_all_pairs(self, sample):
+        scores = h_statistic_matrix(additive_model, sample, [0, 1, 2])
+        assert set(scores) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_matrix_matches_single_computation(self, sample):
+        matrix = h_statistic_matrix(interactive_model, sample, [0, 1])
+        single = h_statistic(interactive_model, sample, 0, 1)
+        assert matrix[(0, 1)] == pytest.approx(single, rel=1e-9)
+
+    def test_constant_model_zero(self, sample):
+        h = h_statistic(lambda X: np.zeros(len(X)), sample, 0, 1)
+        assert h == 0.0
+
+    def test_separate_background(self, sample):
+        background = sample[:20]
+        h = h_statistic(interactive_model, sample, 0, 1, background=background)
+        assert h > 0.05
+
+    def test_too_small_sample_rejected(self):
+        from repro.core import h_stat_scores
+        from repro.forest import GradientBoostingRegressor
+
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (100, 2))
+        forest = GradientBoostingRegressor(n_estimators=2, random_state=0)
+        forest.fit(X, X[:, 0])
+        with pytest.raises(ValueError):
+            h_stat_scores(forest, [0, 1], X[:1])

@@ -1,0 +1,102 @@
+"""Tests for the LIME tabular explainer."""
+
+import numpy as np
+import pytest
+
+from repro.xai import LimeTabularExplainer
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    return np.random.default_rng(0).uniform(-1, 1, (500, 3))
+
+
+class TestLinearRecovery:
+    def test_recovers_linear_coefficients(self, training_data):
+        """On a linear model LIME's standardized coefs = beta * scale."""
+
+        def linear(X):
+            return 3.0 * X[:, 0] - 1.0 * X[:, 1]
+
+        explainer = LimeTabularExplainer(training_data, random_state=0)
+        x = np.array([0.2, -0.3, 0.5])
+        exp = explainer.explain_instance(x, linear, num_samples=4000)
+        coef = np.zeros(3)
+        coef[exp.feature_indices] = exp.coefficients
+        expected = np.array([3.0, -1.0, 0.0]) * explainer.scales_
+        np.testing.assert_allclose(coef, expected, atol=0.05)
+
+    def test_ranking_by_magnitude(self, training_data):
+        def model(X):
+            return 5 * X[:, 2] + 0.5 * X[:, 0]
+
+        explainer = LimeTabularExplainer(training_data, random_state=0)
+        exp = explainer.explain_instance(np.zeros(3), model)
+        assert exp.feature_indices[0] == 2
+
+    def test_local_prediction_close_to_model(self, training_data):
+        def model(X):
+            return X[:, 0] ** 2 + X[:, 1]
+
+        explainer = LimeTabularExplainer(training_data, random_state=0)
+        x = np.array([0.5, 0.2, 0.0])
+        exp = explainer.explain_instance(x, model)
+        assert exp.local_prediction == pytest.approx(exp.model_prediction, abs=0.3)
+
+    def test_score_high_for_linear(self, training_data):
+        explainer = LimeTabularExplainer(training_data, random_state=0)
+        exp = explainer.explain_instance(np.zeros(3), lambda X: X[:, 0])
+        assert exp.score > 0.95
+
+    def test_as_list_top_k(self, training_data):
+        explainer = LimeTabularExplainer(training_data, random_state=0)
+        exp = explainer.explain_instance(np.zeros(3), lambda X: X[:, 0])
+        pairs = exp.as_list(top_k=2)
+        assert len(pairs) == 2
+        assert pairs[0][0] == 0
+
+    def test_num_features_truncates(self, training_data):
+        explainer = LimeTabularExplainer(training_data, random_state=0)
+        exp = explainer.explain_instance(
+            np.zeros(3), lambda X: X[:, 0], num_features=1
+        )
+        assert len(exp.feature_indices) == 1
+
+
+class TestDeterminismAndValidation:
+    def test_deterministic_given_seed(self, training_data):
+        def model(X):
+            return np.sin(X[:, 0])
+
+        runs = []
+        for _ in range(2):
+            explainer = LimeTabularExplainer(training_data, random_state=7)
+            runs.append(
+                explainer.explain_instance(np.zeros(3), model).coefficients
+            )
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_kernel_width_validation(self, training_data):
+        with pytest.raises(ValueError):
+            LimeTabularExplainer(training_data, kernel_width=0.0)
+
+    def test_tiny_training_data_rejected(self):
+        with pytest.raises(ValueError):
+            LimeTabularExplainer(np.zeros((1, 3)))
+
+    def test_wrong_instance_width(self, training_data):
+        explainer = LimeTabularExplainer(training_data)
+        with pytest.raises(ValueError):
+            explainer.explain_instance(np.zeros(5), lambda X: X[:, 0])
+
+    def test_min_samples(self, training_data):
+        explainer = LimeTabularExplainer(training_data)
+        with pytest.raises(ValueError):
+            explainer.explain_instance(np.zeros(3), lambda X: X[:, 0], num_samples=5)
+
+    def test_constant_feature_scale_fallback(self):
+        data = np.column_stack(
+            [np.random.default_rng(0).normal(size=100), np.full(100, 2.0)]
+        )
+        explainer = LimeTabularExplainer(data)
+        assert explainer.scales_[1] == 1.0  # no division by zero

@@ -1,0 +1,123 @@
+"""Tests for partial dependence and ICE."""
+
+import numpy as np
+import pytest
+
+from repro.xai import (
+    ice_curves,
+    partial_dependence_1d,
+    partial_dependence_2d,
+    pd_at_points,
+)
+
+
+def additive_model(X):
+    """f(x) = 2 x0 + sin(3 x1): no interactions by construction."""
+    return 2 * X[:, 0] + np.sin(3 * X[:, 1])
+
+
+def interactive_model(X):
+    """f(x) = x0 * x1: pure interaction."""
+    return X[:, 0] * X[:, 1]
+
+
+@pytest.fixture(scope="module")
+def background():
+    return np.random.default_rng(0).uniform(0, 1, (200, 3))
+
+
+class TestPartialDependence1d:
+    def test_recovers_additive_component(self, background):
+        grid = np.linspace(0, 1, 21)
+        pd = partial_dependence_1d(additive_model, background, 0, grid)
+        # PD of an additive model is the component plus a constant.
+        np.testing.assert_allclose(np.diff(pd), 2 * np.diff(grid), atol=1e-10)
+
+    def test_centered_mean_zero(self, background):
+        grid = np.linspace(0, 1, 15)
+        pd = partial_dependence_1d(additive_model, background, 1, grid, center=True)
+        assert pd.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_irrelevant_feature_flat(self, background):
+        grid = np.linspace(0, 1, 9)
+        pd = partial_dependence_1d(additive_model, background, 2, grid)
+        np.testing.assert_allclose(pd, pd[0], atol=1e-12)
+
+    def test_empty_background_rejected(self):
+        with pytest.raises(ValueError):
+            partial_dependence_1d(additive_model, np.empty((0, 3)), 0, np.array([0.5]))
+
+
+class TestPartialDependence2d:
+    def test_surface_shape(self, background):
+        surface = partial_dependence_2d(
+            interactive_model,
+            background,
+            0,
+            1,
+            np.linspace(0, 1, 5),
+            np.linspace(0, 1, 7),
+        )
+        assert surface.shape == (5, 7)
+
+    def test_product_model_surface(self, background):
+        gi = np.linspace(0, 1, 6)
+        gj = np.linspace(0, 1, 6)
+        surface = partial_dependence_2d(interactive_model, background, 0, 1, gi, gj)
+        np.testing.assert_allclose(surface, np.outer(gi, gj), atol=1e-10)
+
+
+class TestPdAtPoints:
+    def test_matches_grid_evaluation(self, background):
+        grid = np.linspace(0.1, 0.9, 8)
+        via_grid = partial_dependence_1d(additive_model, background, 0, grid, center=True)
+        via_points = pd_at_points(
+            additive_model, background, (0,), grid[:, None], center=True
+        )
+        np.testing.assert_allclose(via_grid, via_points, atol=1e-12)
+
+    def test_pairwise_points(self, background):
+        points = np.array([[0.2, 0.3], [0.8, 0.1]])
+        out = pd_at_points(
+            interactive_model, background, (0, 1), points, center=False
+        )
+        np.testing.assert_allclose(out, points[:, 0] * points[:, 1], atol=1e-12)
+
+    def test_width_mismatch_rejected(self, background):
+        with pytest.raises(ValueError):
+            pd_at_points(additive_model, background, (0, 1), np.zeros((3, 1)))
+
+    def test_chunking_consistency(self, background):
+        """Results must not depend on the internal batch size."""
+        import repro.xai.pdp as pdp_module
+
+        points = np.random.default_rng(1).uniform(0, 1, (50, 1))
+        full = pd_at_points(additive_model, background, (0,), points)
+        original = pdp_module._MAX_BATCH_ROWS
+        try:
+            pdp_module._MAX_BATCH_ROWS = 250  # forces many small chunks
+            chunked = pd_at_points(additive_model, background, (0,), points)
+        finally:
+            pdp_module._MAX_BATCH_ROWS = original
+        np.testing.assert_allclose(full, chunked, atol=1e-12)
+
+
+class TestIceCurves:
+    def test_shape(self, background):
+        grid = np.linspace(0, 1, 11)
+        curves = ice_curves(additive_model, background, 0, grid)
+        assert curves.shape == (200, 11)
+
+    def test_mean_of_ice_is_pd(self, background):
+        grid = np.linspace(0, 1, 11)
+        curves = ice_curves(additive_model, background, 0, grid)
+        pd = partial_dependence_1d(additive_model, background, 0, grid)
+        np.testing.assert_allclose(curves.mean(axis=0), pd, atol=1e-12)
+
+    def test_additive_model_parallel_curves(self, background):
+        grid = np.linspace(0, 1, 11)
+        curves = ice_curves(additive_model, background, 0, grid)
+        shifted = curves - curves[:, :1]
+        np.testing.assert_allclose(
+            shifted, np.broadcast_to(shifted[0], shifted.shape), atol=1e-10
+        )

@@ -1,0 +1,71 @@
+"""Tests for SHAP global aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.forest import GradientBoostingRegressor
+from repro.xai import ShapGlobalExplainer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (600, 3))
+    y = 4 * X[:, 0] + np.sin(6 * X[:, 1]) + rng.normal(0, 0.05, 600)
+    forest = GradientBoostingRegressor(n_estimators=25, num_leaves=8, random_state=0)
+    forest.fit(X, y)
+    explainer = ShapGlobalExplainer(forest)
+    return forest, X, explainer.explain(X[:80])
+
+
+class TestAggregation:
+    def test_shapes(self, setup):
+        _, _, explanation = setup
+        assert explanation.shap_values.shape == (80, 3)
+        assert explanation.X.shape == (80, 3)
+
+    def test_importance_ranks_signal_features(self, setup):
+        _, _, explanation = setup
+        ranking = explanation.ranking()
+        assert set(ranking[:2].tolist()) == {0, 1}
+        assert ranking[-1] == 2  # the noise feature
+
+    def test_importance_is_mean_abs(self, setup):
+        _, _, explanation = setup
+        np.testing.assert_allclose(
+            explanation.importance(),
+            np.abs(explanation.shap_values).mean(axis=0),
+        )
+
+    def test_dependence_returns_copies(self, setup):
+        _, _, explanation = setup
+        x, phi = explanation.dependence(0)
+        x[:] = 0.0
+        assert explanation.X[:, 0].max() > 0  # original untouched
+
+    def test_dependence_trend_monotone_for_linear_effect(self, setup):
+        _, _, explanation = setup
+        centers, means = explanation.dependence_trend(0, n_bins=8)
+        # 4*x0 is linear: the binned SHAP trend must rise monotonically.
+        assert np.all(np.diff(means) > 0)
+        assert len(centers) == len(means)
+
+    def test_dependence_trend_bin_validation(self, setup):
+        _, _, explanation = setup
+        with pytest.raises(ValueError):
+            explanation.dependence_trend(0, n_bins=1)
+
+    def test_local_accuracy_aggregates(self, setup):
+        forest, X, explanation = setup
+        reconstructed = explanation.expected_value + explanation.shap_values.sum(axis=1)
+        np.testing.assert_allclose(reconstructed, forest.predict(X[:80]), atol=1e-8)
+
+    def test_labels(self, setup):
+        forest, X, _ = setup
+        named = ShapGlobalExplainer(forest, feature_names=["a", "b", "c"]).explain(X[:5])
+        assert named.label(1) == "b"
+
+    def test_feature_names_validated(self, setup):
+        forest, _, _ = setup
+        with pytest.raises(ValueError):
+            ShapGlobalExplainer(forest, feature_names=["only-one"])

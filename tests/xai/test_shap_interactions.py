@@ -1,0 +1,129 @@
+"""Tests for exact SHAP interaction values."""
+
+from itertools import combinations
+from math import factorial
+
+import numpy as np
+import pytest
+
+from repro.forest import GradientBoostingRegressor
+from repro.xai import TreeShapExplainer, tree_shap_interaction_values
+
+from tests.xai.test_treeshap import conditional_expectation
+
+
+def brute_force_interactions(tree, x, n_features):
+    """Textbook Shapley interaction index over the conditional game."""
+    phi_int = np.zeros((n_features, n_features))
+    features = list(range(n_features))
+    for i, j in combinations(features, 2):
+        others = [f for f in features if f not in (i, j)]
+        total = 0.0
+        for size in range(len(others) + 1):
+            for subset in combinations(others, size):
+                weight = (
+                    factorial(len(subset))
+                    * factorial(n_features - len(subset) - 2)
+                    / (2.0 * factorial(n_features - 1))
+                )
+                s = set(subset)
+                delta = (
+                    conditional_expectation(tree, x, s | {i, j})
+                    - conditional_expectation(tree, x, s | {i})
+                    - conditional_expectation(tree, x, s | {j})
+                    + conditional_expectation(tree, x, s)
+                )
+                total += weight * delta
+        phi_int[i, j] = phi_int[j, i] = total
+    return phi_int
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (500, 3))
+    y = 2 * X[:, 0] + 3 * X[:, 1] * X[:, 2] + rng.normal(0, 0.02, 500)
+    forest = GradientBoostingRegressor(
+        n_estimators=8, num_leaves=8, min_samples_leaf=5, random_state=0
+    )
+    forest.fit(X, y)
+    return forest, X
+
+
+class TestExactness:
+    def test_off_diagonal_matches_brute_force(self, setup):
+        forest, X = setup
+        for row in (0, 11):
+            x = X[row]
+            fast = sum(
+                tree_shap_interaction_values(t, x, 3) for t in forest.trees_
+            )
+            brute = sum(
+                brute_force_interactions(t, x, 3) for t in forest.trees_
+            )
+            off_diag = ~np.eye(3, dtype=bool)
+            np.testing.assert_allclose(
+                fast[off_diag], brute[off_diag], atol=1e-10
+            )
+
+    def test_symmetry(self, setup):
+        forest, X = setup
+        explainer = TreeShapExplainer(forest)
+        matrices = explainer.shap_interaction_values(X[:5])
+        for matrix in matrices:
+            np.testing.assert_allclose(matrix, matrix.T, atol=1e-10)
+
+    def test_rows_sum_to_shap_values(self, setup):
+        forest, X = setup
+        explainer = TreeShapExplainer(forest)
+        matrices = explainer.shap_interaction_values(X[:5])
+        phi = explainer.shap_values(X[:5])
+        np.testing.assert_allclose(matrices.sum(axis=2), phi, atol=1e-10)
+
+    def test_total_sums_to_prediction_gap(self, setup):
+        forest, X = setup
+        explainer = TreeShapExplainer(forest)
+        matrices = explainer.shap_interaction_values(X[:10])
+        totals = matrices.sum(axis=(1, 2))
+        expected = forest.predict(X[:10]) - explainer.expected_value
+        np.testing.assert_allclose(totals, expected, atol=1e-9)
+
+
+class TestSemantics:
+    def test_interacting_pair_dominates(self, setup):
+        """The x1*x2 product must carry the largest off-diagonal mass."""
+        forest, X = setup
+        explainer = TreeShapExplainer(forest)
+        matrices = explainer.shap_interaction_values(X[:40])
+        mean_abs = np.abs(matrices).mean(axis=0)
+        off_pairs = {(0, 1), (0, 2), (1, 2)}
+        strongest = max(off_pairs, key=lambda p: mean_abs[p])
+        assert strongest == (1, 2)
+
+    def test_additive_feature_has_weaker_interactions(self, setup):
+        """x0 enters additively: its off-diagonal terms stay well below the
+        true pair's (a small 8-tree forest leaves some spurious coupling,
+        so the separation is strong but not absolute)."""
+        forest, X = setup
+        explainer = TreeShapExplainer(forest)
+        matrices = explainer.shap_interaction_values(X[:40])
+        mean_abs = np.abs(matrices).mean(axis=0)
+        assert mean_abs[0, 1] < 0.5 * mean_abs[1, 2]
+        assert mean_abs[0, 2] < 0.5 * mean_abs[1, 2]
+
+    def test_unused_feature_all_zero(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (300, 3))
+        y = X[:, 0] * 2  # features 1, 2 unused
+        forest = GradientBoostingRegressor(
+            n_estimators=3, num_leaves=4, random_state=0
+        )
+        forest.fit(X, y)
+        matrix = TreeShapExplainer(forest).shap_interaction_values(X[:1])[0]
+        assert matrix[1].sum() == 0.0
+        assert matrix[2].sum() == 0.0
+
+    def test_width_validation(self, setup):
+        forest, _ = setup
+        with pytest.raises(ValueError):
+            TreeShapExplainer(forest).shap_interaction_values(np.zeros((2, 7)))

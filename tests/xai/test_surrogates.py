@@ -1,0 +1,107 @@
+"""Tests for the linear and single-tree baseline surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.xai import LinearSurrogate, TreeSurrogate
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, (1000, 3))
+    y = 2.0 * X[:, 0] - 0.5 * X[:, 2] + 1.0 + rng.normal(0, 0.01, 1000)
+    return X, y
+
+
+class TestLinearSurrogate:
+    def test_recovers_coefficients(self, linear_data):
+        X, y = linear_data
+        model = LinearSurrogate().fit(X, y)
+        np.testing.assert_allclose(model.coef_, [2.0, 0.0, -0.5], atol=0.01)
+        assert model.intercept_ == pytest.approx(1.0, abs=0.01)
+
+    def test_prediction(self, linear_data):
+        X, y = linear_data
+        model = LinearSurrogate().fit(X, y)
+        resid = y - model.predict(X)
+        assert np.std(resid) < 0.02
+
+    def test_explanation_sorted_by_importance(self, linear_data):
+        X, y = linear_data
+        model = LinearSurrogate().fit(X, y)
+        names = [name for name, _ in model.explanation()]
+        assert names[0] == "x0"  # strongest standardized weight first
+        assert names[-1] == "x1"
+
+    def test_explanation_with_names(self, linear_data):
+        X, y = linear_data
+        model = LinearSurrogate().fit(X, y)
+        pairs = model.explanation(feature_names=["a", "b", "c"])
+        assert pairs[0][0] == "a"
+
+    def test_cannot_fit_sine(self):
+        """The paper's §3.1 point: a linear surrogate cannot bend."""
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (2000, 1))
+        y = np.sin(20 * X[:, 0])
+        model = LinearSurrogate().fit(X, y)
+        resid_var = np.var(y - model.predict(X))
+        assert resid_var > 0.8 * np.var(y)  # barely better than the mean
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(100), np.arange(100.0)])
+        y = X[:, 1] * 2
+        model = LinearSurrogate().fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSurrogate(ridge=-1.0)
+        with pytest.raises(ValueError):
+            LinearSurrogate().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(RuntimeError):
+            LinearSurrogate().predict(np.zeros((2, 2)))
+
+
+class TestTreeSurrogate:
+    def test_fits_step_function_exactly(self):
+        # 200 distinct values < 255 bins, so every midpoint is a candidate
+        # boundary and the histogram tree can match the step exactly.
+        X = np.linspace(0, 1, 200)[:, None]
+        y = np.where(X[:, 0] < 0.5, -1.0, 1.0)
+        model = TreeSurrogate(num_leaves=2, min_samples_leaf=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-12)
+        assert model.n_leaves == 2
+
+    def test_leaf_budget_respected(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, (800, 3))
+        y = X.sum(axis=1)
+        model = TreeSurrogate(num_leaves=8, min_samples_leaf=5).fit(X, y)
+        assert model.n_leaves <= 8
+
+    def test_smooth_targets_are_hard(self):
+        """Axis-aligned steps approximate a sine poorly at a small budget."""
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, (2000, 1))
+        y = np.sin(20 * X[:, 0])
+        model = TreeSurrogate(num_leaves=4, min_samples_leaf=10).fit(X, y)
+        resid_var = np.var(y - model.predict(X))
+        assert resid_var > 0.2 * np.var(y)
+
+    def test_explanation_is_rule_text(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        model = TreeSurrogate(num_leaves=2, min_samples_leaf=1).fit(X, y)
+        text = model.explanation(feature_names=["age"])
+        assert "age <=" in text
+        assert "leaf:" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeSurrogate().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(RuntimeError):
+            TreeSurrogate().predict(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            TreeSurrogate().explanation()

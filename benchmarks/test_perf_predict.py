@@ -1,0 +1,136 @@
+"""Tier-2 perf smoke: packed single-pass engine vs the per-tree loop.
+
+Times ``predict_raw`` for both engines over the (N, T) grid
+{10k, 100k} x {50, 500} on a deep leaf-wise GBDT (num_leaves=31, the
+paper's forest shape) and writes a ``BENCH_predict.json`` trajectory
+artifact at the repo root.  The run *fails* if the packed engine is
+slower than the loop at the largest cell (N=100k, T=500) or if any cell's
+outputs are not bitwise identical — keeping the perf claim and the
+correctness contract pinned in CI.
+
+Run with ``pytest benchmarks/test_perf_predict.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.forest import (
+    GradientBoostingRegressor,
+    packed_for,
+    set_prediction_engine,
+)
+
+from _report import header, report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ROW_COUNTS = (10_000, 100_000)
+TREE_COUNTS = (50, 500)
+N_FEATURES = 12
+SEED = 0
+
+
+def _train_forest(n_trees: int) -> tuple[GradientBoostingRegressor, np.ndarray]:
+    rng = np.random.default_rng(SEED)
+    n_train = 4_000
+    X = rng.standard_normal((n_train, N_FEATURES))
+    y = (
+        X[:, 0] * 2
+        + np.sin(3 * X[:, 1])
+        + X[:, 2] * X[:, 3]
+        + 0.1 * rng.standard_normal(n_train)
+    )
+    model = GradientBoostingRegressor(
+        n_estimators=n_trees, num_leaves=31, learning_rate=0.1, random_state=SEED
+    )
+    model.fit(X, y)
+    X_eval = rng.standard_normal((max(ROW_COUNTS), N_FEATURES))
+    return model, X_eval
+
+def _time_predict(
+    model, X: np.ndarray, engine: str, repeats: int = 2
+) -> tuple[float, np.ndarray]:
+    """Best-of-``repeats`` wall time; the minimum filters scheduler noise."""
+    set_prediction_engine(engine)
+    try:
+        if engine == "packed":
+            # Warm the pack once so the timing isolates evaluation.
+            packed = packed_for(model)
+            assert packed is not None
+            packed.clear_cache()
+            run = lambda: packed.predict_raw(X, use_cache=False)
+        else:
+            run = lambda: model.predict_raw(X)
+        best = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            out = run()
+            best = min(best, time.perf_counter() - start)
+        return best, out
+    finally:
+        set_prediction_engine("packed")
+
+
+def test_perf_predict():
+    header("Packed engine vs per-tree loop: predict_raw rows/sec")
+    model_full, X_eval = _train_forest(max(TREE_COUNTS))
+
+    cells = []
+    for n_trees in TREE_COUNTS:
+        # Prefix forests share trained trees: boosting is additive, so the
+        # first T trees of the big model are themselves a valid model.
+        model = GradientBoostingRegressor(
+            n_estimators=n_trees, num_leaves=31, learning_rate=0.1, random_state=SEED
+        )
+        model.trees_ = model_full.trees_[:n_trees]
+        model.init_score_ = model_full.init_score_
+        model.n_features_ = model_full.n_features_
+        for n_rows in ROW_COUNTS:
+            X = X_eval[:n_rows]
+            loop_seconds, loop_out = _time_predict(model, X, "loop")
+            packed_seconds, packed_out = _time_predict(model, X, "packed")
+            identical = bool(np.array_equal(loop_out, packed_out))
+            cell = {
+                "n_rows": n_rows,
+                "n_trees": n_trees,
+                "loop_seconds": round(loop_seconds, 4),
+                "packed_seconds": round(packed_seconds, 4),
+                "loop_rows_per_sec": round(n_rows / loop_seconds, 1),
+                "packed_rows_per_sec": round(n_rows / packed_seconds, 1),
+                "speedup": round(loop_seconds / packed_seconds, 2),
+                "identical": identical,
+            }
+            cells.append(cell)
+            report(
+                f"N={n_rows:>7,} T={n_trees:>3}: "
+                f"loop {cell['loop_rows_per_sec']:>10,.0f} rows/s  "
+                f"packed {cell['packed_rows_per_sec']:>10,.0f} rows/s  "
+                f"speedup {cell['speedup']:.2f}x  identical={identical}"
+            )
+
+    artifact = {
+        "benchmark": "predict_raw",
+        "forest": {"num_leaves": 31, "n_features": N_FEATURES, "seed": SEED},
+        "engines": ["loop", "packed"],
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cells": cells,
+    }
+    (REPO_ROOT / "BENCH_predict.json").write_text(json.dumps(artifact, indent=2) + "\n")
+
+    for cell in cells:
+        assert cell["identical"], f"packed output differs at {cell}"
+    largest = next(
+        c
+        for c in cells
+        if c["n_rows"] == max(ROW_COUNTS) and c["n_trees"] == max(TREE_COUNTS)
+    )
+    assert largest["speedup"] > 1.0, (
+        f"packed engine slower than loop at the largest cell: {largest}"
+    )

@@ -117,4 +117,7 @@ def kmeans_1d_centroids(
     if k == len(distinct):
         return distinct
     km = KMeans(n_clusters=k, random_state=random_state).fit(values[:, None])
-    return np.sort(km.cluster_centers_.ravel())
+    # Distinct centroids only: clusters can collapse onto the same point
+    # (e.g. values whose means round to an existing centroid), and domain
+    # consumers require strictly increasing points.
+    return np.unique(km.cluster_centers_.ravel())

@@ -1,7 +1,13 @@
 """GEF — GAM-based Explanation of Forests (the paper's contribution)."""
 
 from .comparison import ConsistencyReport, compare_with_shap
-from .config import INTERACTION_STRATEGY_NAMES, SAMPLING_STRATEGY_NAMES, GEFConfig
+from .config import (
+    INTERACTION_STRATEGY_NAMES,
+    SAMPLING_STRATEGY_NAMES,
+    GEFConfig,
+    get_prediction_engine,
+    set_prediction_engine,
+)
 from .dataset import ExplanationDataset, generate_dataset, sample_instances
 from .explainer import GEF
 from .explanation_io import (
@@ -90,7 +96,9 @@ __all__ = [
     "forest_split_counts",
     "gain_path_scores",
     "generate_dataset",
+    "get_prediction_engine",
     "h_stat_scores",
+    "set_prediction_engine",
     "is_categorical",
     "k_means_domain",
     "k_quantile_domain",

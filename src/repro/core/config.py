@@ -14,7 +14,34 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["GEFConfig", "SAMPLING_STRATEGY_NAMES", "INTERACTION_STRATEGY_NAMES"]
+__all__ = [
+    "GEFConfig",
+    "INTERACTION_STRATEGY_NAMES",
+    "SAMPLING_STRATEGY_NAMES",
+    "get_prediction_engine",
+    "set_prediction_engine",
+]
+
+
+def set_prediction_engine(name: str) -> None:
+    """Select the forest evaluation engine used by every ``predict_raw``.
+
+    ``"packed"`` (the default) evaluates all trees in one batched descent;
+    ``"loop"`` restores the per-tree loop.  Outputs are bitwise identical —
+    the knob exists for benchmarking and as an escape hatch.  Delegates to
+    :mod:`repro.forest.packed`; imported lazily to keep ``repro.core``
+    import-light.
+    """
+    from ..forest import packed
+
+    packed.set_prediction_engine(name)
+
+
+def get_prediction_engine() -> str:
+    """The currently selected forest evaluation engine name."""
+    from ..forest import packed
+
+    return packed.get_prediction_engine()
 
 SAMPLING_STRATEGY_NAMES = (
     "all-thresholds",

@@ -41,11 +41,10 @@ def forest_split_counts(forest) -> np.ndarray:
     per-node gains: split frequency still ranks the load-bearing features.
     """
     _check_forest(forest)
-    counts = np.zeros(int(forest.n_features_))
-    for tree in forest.trees_:
-        for node in tree.internal_nodes():
-            counts[tree.feature[node]] += 1
-    return counts
+    feats = np.concatenate(
+        [t.feature[t.feature != -1] for t in forest.trees_]
+    )
+    return np.bincount(feats, minlength=int(forest.n_features_)).astype(np.float64)
 
 
 def select_univariate(
@@ -84,9 +83,12 @@ def feature_thresholds(forest) -> list[np.ndarray]:
     """
     _check_forest(forest)
     n_features = int(forest.n_features_)
-    per_feature: list[list[float]] = [[] for _ in range(n_features)]
-    for tree in forest.trees_:
-        for feature, values in enumerate(tree.split_thresholds(n_features)):
-            if values.size:
-                per_feature[feature].extend(values.tolist())
-    return [np.sort(np.asarray(v, dtype=np.float64)) for v in per_feature]
+    feats = np.concatenate([t.feature[t.feature != -1] for t in forest.trees_])
+    thrs = np.concatenate(
+        [t.threshold[t.feature != -1] for t in forest.trees_]
+    ).astype(np.float64)
+    # One grouped pass: sort by (feature, threshold), then split per feature.
+    order = np.lexsort((thrs, feats))
+    counts = np.bincount(feats, minlength=n_features)
+    grouped = np.split(thrs[order], np.cumsum(counts)[:-1])
+    return [np.ascontiguousarray(g) for g in grouped]

@@ -8,6 +8,11 @@ the *forest protocol* GEF relies on:
 * ``init_score_`` — constant base score;
 * ``n_features_`` — input dimensionality;
 * ``predict_raw(X)`` — ``init_score_ + sum of trees``.
+
+Prediction runs on the packed single-pass engine by default (all trees
+evaluated in one batched descent, see :mod:`repro.forest.packed`);
+``set_prediction_engine("loop")`` restores the per-tree loop, which is
+bitwise identical but several times slower.
 """
 
 from .binning import BinMapper
@@ -22,6 +27,15 @@ from .model_io import (
     load_forest,
     save_forest,
 )
+from .packed import (
+    PackedForest,
+    get_default_n_jobs,
+    get_prediction_engine,
+    invalidate_packed,
+    packed_for,
+    set_default_n_jobs,
+    set_prediction_engine,
+)
 from .random_forest import RandomForestClassifier, RandomForestRegressor
 from .text_dump import dump_tree, forest_summary
 from .tree import LEAF, Tree
@@ -35,6 +49,7 @@ __all__ = [
     "LEAF",
     "LogisticLoss",
     "OneVsRestGBDTClassifier",
+    "PackedForest",
     "RandomForestClassifier",
     "RandomForestRegressor",
     "SquaredLoss",
@@ -46,11 +61,17 @@ __all__ = [
     "forest_summary",
     "forest_to_dict",
     "forests_equal",
+    "get_default_n_jobs",
     "get_loss",
+    "get_prediction_engine",
     "grow_tree",
+    "invalidate_packed",
     "kfold_indices",
     "load_forest",
+    "packed_for",
     "save_forest",
+    "set_default_n_jobs",
+    "set_prediction_engine",
     "sigmoid",
     "train_test_split",
 ]

@@ -17,7 +17,8 @@ import numpy as np
 from .binning import BinMapper
 from .grower import TreeGrowerParams, grow_tree
 from .losses import get_loss
-from .tree import Tree
+from .packed import dispatch_predict_raw, dispatch_staged_predict_raw, invalidate_packed
+from .tree import Tree, accumulate_importance
 
 __all__ = ["GradientBoostingRegressor", "GradientBoostingClassifier"]
 
@@ -152,6 +153,7 @@ class _BaseGradientBoosting:
 
         if self.early_stopping_rounds is not None and self.best_iteration_:
             del self.trees_[self.best_iteration_ :]
+        invalidate_packed(self)
         return self
 
     @staticmethod
@@ -164,9 +166,16 @@ class _BaseGradientBoosting:
     # prediction and structure access
     # ------------------------------------------------------------------
     def predict_raw(self, X: np.ndarray) -> np.ndarray:
-        """Raw additive score ``init + sum_t tree_t(x)``."""
+        """Raw additive score ``init + sum_t tree_t(x)``.
+
+        Evaluated by the packed single-pass engine when it is selected
+        (the default); the per-tree loop is the bitwise-identical fallback.
+        """
         self._check_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        packed = dispatch_predict_raw(self, X)
+        if packed is not None:
+            return packed
         raw = np.full(X.shape[0], self.init_score_)
         for tree in self.trees_:
             raw += tree.predict(X)
@@ -181,6 +190,10 @@ class _BaseGradientBoosting:
         """Yield the raw score after each boosting stage (learning curve)."""
         self._check_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        stages = dispatch_staged_predict_raw(self, X)
+        if stages is not None:
+            yield from stages
+            return
         raw = np.full(X.shape[0], self.init_score_)
         for tree in self.trees_:
             raw = raw + tree.predict(X)
@@ -192,16 +205,7 @@ class _BaseGradientBoosting:
         This is the statistic GEF's univariate feature selection sorts by.
         """
         self._check_fitted()
-        imp = np.zeros(self.n_features_)
-        for tree in self.trees_:
-            if importance_type == "gain":
-                imp += tree.feature_gains(self.n_features_)
-            elif importance_type == "split":
-                for node in tree.internal_nodes():
-                    imp[tree.feature[node]] += 1
-            else:
-                raise ValueError("importance_type must be 'gain' or 'split'")
-        return imp
+        return accumulate_importance(self.trees_, self.n_features_, importance_type)
 
     def _check_fitted(self) -> None:
         if not self.trees_:

@@ -86,18 +86,29 @@ class OneVsRestGBDTClassifier:
         if not self.forests_:
             raise RuntimeError("model is not fitted")
 
+    def predict_raw(self, X: np.ndarray) -> np.ndarray:
+        """Per-class raw (log-odds) scores, shape ``(n, n_classes)``.
+
+        Each column is one binary forest's ``predict_raw``; every forest
+        dispatches to the packed engine when it is selected, so the
+        multiclass score matrix is a per-class reshape of packed passes.
+        """
+        self._check_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.column_stack([f.predict_raw(X) for f in self.forests_])
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class probabilities, shape ``(n, n_classes)``.
 
         Per-class one-vs-rest probabilities renormalized to sum to one
         (the standard OvR calibration).
         """
-        self._check_fitted()
-        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        raw = np.column_stack([f.predict_proba(X) for f in self.forests_])
-        totals = raw.sum(axis=1, keepdims=True)
+        from .losses import sigmoid
+
+        proba = sigmoid(self.predict_raw(X))
+        totals = proba.sum(axis=1, keepdims=True)
         totals[totals == 0] = 1.0
-        return raw / totals
+        return proba / totals
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Most probable class label per row."""

@@ -1,0 +1,519 @@
+"""Packed forest evaluation engine: single-pass batched prediction.
+
+The per-tree prediction loop pays the full vectorized-descent overhead
+(index gathers, comparison, child select) once per tree.  This module
+concatenates *all* trees of a forest into flat structure-of-arrays buffers
+and advances every (row, tree) pair simultaneously in one
+breadth-synchronous descent, then reduces with a single sequential pass —
+bitwise identical to the loop, several times faster.
+
+Layout
+------
+Trees are renumbered breadth-first at pack time so that each internal
+node's right child immediately follows its left child.  That collapses the
+whole per-node test into one integer record::
+
+    record = (left_child << L1_SHIFT) | (feature << F_SHIFT) | code
+    next   = (record >> L1_SHIFT) - (x_code <= code)    # 0 -> right, 1 -> left
+
+where ``code`` indexes a per-feature codebook of the distinct thresholds
+used anywhere in the forest.  Rows are digitized once per predict call
+(``code(x) = searchsorted(thresholds_f, x, side="left")``), which maps the
+float comparison ``x <= t`` onto the integer comparison ``code(x) <=
+code(t)`` exactly — including NaN and infinities, which sort past every
+threshold and therefore always go right, matching IEEE comparison
+semantics.  Bit widths adapt to the forest: small forests fit the whole
+record in an ``int32``, halving gather traffic.
+
+Leaves carry an all-ones sentinel code, which makes the comparison always
+true and their stored child pointer points back at themselves, so finished
+pairs self-loop harmlessly until the periodic compaction sweep retires
+them (every ``cshift`` levels the active set is filtered through double
+buffers, so deep leaf-wise trees do not drag every pair to the maximum
+depth).
+
+The reduction replays the exact sequential accumulation order of the
+per-tree loop — ``((init + v_0) + v_1) + ...`` — via a cumulative sum over
+the per-tree leaf values, so packed and loop outputs are bit-for-bit
+equal, independent of chunking or threading (rows never interact).
+
+Engine selection is a process-wide knob (:func:`set_prediction_engine`);
+``"packed"`` is the default and ``"loop"`` restores the historical
+per-tree path.  Models keep a cached :class:`PackedForest` keyed by a
+structural fingerprint of their trees, so mutating a fitted model (early
+stopping truncation, manual editing) transparently triggers a re-pack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .tree import LEAF, Tree
+
+__all__ = [
+    "PackedForest",
+    "get_default_n_jobs",
+    "get_prediction_engine",
+    "invalidate_packed",
+    "packed_for",
+    "set_default_n_jobs",
+    "set_prediction_engine",
+]
+
+_ENGINES = ("packed", "loop")
+_engine = "packed"
+_default_n_jobs = 1
+
+#: Entries kept in each PackedForest's prediction LRU cache.
+PREDICTION_CACHE_SIZE = 4
+
+#: Fall back to the loop for staged prediction above this many
+#: (tree, row) leaf values (the staged path materializes all of them).
+_STAGED_MAX_ELEMENTS = 25_000_000
+
+
+def set_prediction_engine(name: str) -> None:
+    """Select the process-wide prediction engine: ``"packed"`` or ``"loop"``."""
+    global _engine
+    if name not in _ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {_ENGINES}")
+    _engine = name
+
+
+def get_prediction_engine() -> str:
+    """The currently selected prediction engine name."""
+    return _engine
+
+
+def set_default_n_jobs(n_jobs: int) -> None:
+    """Default thread count for packed evaluation (1 = single-threaded)."""
+    global _default_n_jobs
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    _default_n_jobs = int(n_jobs)
+
+
+def get_default_n_jobs() -> int:
+    """The current default thread count for packed evaluation."""
+    return _default_n_jobs
+
+
+def _forest_fingerprint(trees: list[Tree], init_score: float) -> int:
+    """Cheap structural checksum covering everything prediction depends on."""
+    h = zlib.crc32(np.float64(init_score).tobytes())
+    h = zlib.crc32(np.int64(len(trees)).tobytes(), h)
+    for tree in trees:
+        for arr in (tree.feature, tree.threshold, tree.left, tree.right, tree.value):
+            h = zlib.crc32(np.ascontiguousarray(arr), h)
+    return h
+
+
+def _bfs_order(tree: Tree) -> np.ndarray:
+    """Node ids level by level, each node's children adjacent (left, right)."""
+    feat, lft, rgt = tree.feature, tree.left, tree.right
+    levels = [np.zeros(1, dtype=np.int64)]
+    frontier = levels[0]
+    while frontier.size:
+        internal = frontier[feat[frontier] != LEAF]
+        if internal.size == 0:
+            break
+        children = np.empty(internal.size * 2, dtype=np.int64)
+        children[0::2] = lft[internal]
+        children[1::2] = rgt[internal]
+        levels.append(children)
+        frontier = children
+    return np.concatenate(levels)
+
+
+class PackedForest:
+    """All trees of one forest packed into flat buffers for batched descent.
+
+    Build with :meth:`pack`; it returns ``None`` when the forest cannot be
+    packed (non-finite thresholds, or a record wider than 63 bits), in
+    which case callers fall back to the per-tree loop.
+    """
+
+    def __init__(self):
+        self.n_trees = 0
+        self.n_features = 0
+        self.init_score = 0.0
+        self.fingerprint = 0
+        self.feat_thr: list[np.ndarray] = []
+        self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+    @classmethod
+    def pack(
+        cls, trees: list[Tree], init_score: float, n_features: int
+    ) -> "PackedForest | None":
+        """Pack ``trees`` into a :class:`PackedForest`; ``None`` if unsupported."""
+        if not trees or n_features < 1:
+            return None
+        for tree in trees:
+            internal = tree.feature != LEAF
+            if internal.any() and not np.all(np.isfinite(tree.threshold[internal])):
+                return None
+
+        self = cls()
+        self.n_trees = len(trees)
+        self.n_features = int(n_features)
+        self.init_score = float(init_score)
+        self.fingerprint = _forest_fingerprint(trees, init_score)
+
+        # Per-feature codebook: every distinct threshold in the forest.
+        per_feature: list[list[np.ndarray]] = [[] for _ in range(n_features)]
+        for tree in trees:
+            internal = tree.feature != LEAF
+            feats = tree.feature[internal]
+            thrs = tree.threshold[internal]
+            for f in np.unique(feats):
+                per_feature[f].append(thrs[feats == f])
+        self.feat_thr = [
+            np.unique(np.concatenate(v)) if v else np.empty(0, dtype=np.float64)
+            for v in per_feature
+        ]
+        n_codes = max((len(v) for v in self.feat_thr), default=0)
+
+        # Adaptive bit layout; the all-ones code is the leaf sentinel.
+        self._code_bits = max(int(n_codes + 1).bit_length(), 1)
+        self._f_bits = max(int(max(n_features - 1, 1)).bit_length(), 1)
+        total_nodes = sum(t.n_nodes for t in trees)
+        l1_bits = int(total_nodes + 1).bit_length()
+        if self._code_bits + self._f_bits + l1_bits > 63:
+            return None
+        self._leaf_code = (1 << self._code_bits) - 1
+        self._f_shift = self._code_bits
+        self._l1_shift = self._code_bits + self._f_bits
+        use32 = (self._code_bits + self._f_bits + l1_bits) <= 31
+        self._rdtype = np.int32 if use32 else np.int64
+        self._idtype = np.int32 if use32 else np.int64
+
+        rec = np.empty(total_nodes, np.int64)
+        self.leaf_values = np.empty(total_nodes, np.float64)
+        self.roots = np.empty(self.n_trees, np.int64)
+        self.single_leaf = np.zeros(self.n_trees, np.bool_)
+        parts_f: list[np.ndarray] = []
+        parts_thr: list[np.ndarray] = []
+        parts_leaf: list[np.ndarray] = []
+        offset = 0
+        for ti, tree in enumerate(trees):
+            n = tree.n_nodes
+            bfs = _bfs_order(tree)
+            new_id = np.empty(n, np.int64)
+            new_id[bfs] = np.arange(n)
+            is_leaf = tree.feature[bfs] == LEAF
+            fv = np.where(is_leaf, 0, tree.feature[bfs]).astype(np.int64)
+            # Stored pointer is left_child - 1; for leaves (comparison is
+            # always true) it must be the node itself so they self-loop.
+            l1m1 = np.where(
+                is_leaf, np.arange(n), new_id[np.where(is_leaf, 0, tree.left[bfs])]
+            ).astype(np.int64) + offset
+            rec[offset : offset + n] = (l1m1 << self._l1_shift) | (fv << self._f_shift)
+            self.leaf_values[offset : offset + n] = tree.value[bfs]
+            self.roots[ti] = offset
+            self.single_leaf[ti] = bool(is_leaf[0])
+            parts_f.append(fv)
+            parts_thr.append(tree.threshold[bfs])
+            parts_leaf.append(is_leaf)
+            offset += n
+
+        # Threshold codes for every node, one searchsorted per feature.
+        all_f = np.concatenate(parts_f)
+        all_thr = np.concatenate(parts_thr)
+        all_leaf = np.concatenate(parts_leaf)
+        code = np.full(total_nodes, self._leaf_code, np.int64)
+        internal_idx = np.flatnonzero(~all_leaf)
+        f_internal = all_f[internal_idx]
+        for f in np.unique(f_internal):
+            sel = internal_idx[f_internal == f]
+            code[sel] = np.searchsorted(self.feat_thr[f], all_thr[sel])
+        rec |= code
+        self.records = rec.astype(self._rdtype)
+        self.active_trees = np.flatnonzero(~self.single_leaf)
+        return self
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def digitize(self, X: np.ndarray) -> np.ndarray:
+        """Integer code matrix of ``X`` under the forest's threshold codebook."""
+        X = np.ascontiguousarray(np.atleast_2d(X), dtype=np.float64)
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"X has {X.shape[1]} features, forest expects {self.n_features}"
+            )
+        codes = np.empty(X.shape, np.int32)
+        for f in range(self.n_features):
+            if len(self.feat_thr[f]):
+                codes[:, f] = np.searchsorted(self.feat_thr[f], X[:, f], side="left")
+            else:
+                codes[:, f] = 0
+        return codes
+
+    def _eval_block(
+        self,
+        codes: np.ndarray,
+        lo: int,
+        hi: int,
+        out: np.ndarray | None,
+        out_values: np.ndarray | None,
+        chunk: int,
+        cshift: int,
+    ) -> None:
+        """Descend rows ``lo:hi``; write reduced scores and/or leaf values."""
+        d = self.n_features
+        rec, pv, roots = self.records, self.leaf_values, self.roots
+        active_trees, n_trees = self.active_trees, self.n_trees
+        nt_act = active_trees.size
+        leaf_code = self._leaf_code
+        f_shift, l1_shift = self._f_shift, self._l1_shift
+        idt = self._idtype
+        f_base_mask = (1 << self._f_bits) - 1
+        A0 = nt_act * chunk
+        cA = np.empty(A0, self._rdtype)
+        cB = np.empty(A0, self._rdtype)
+        pairA = np.empty(A0, idt)
+        pairB = np.empty(A0, idt)
+        rowdA = np.empty(A0, idt)
+        rowdB = np.empty(A0, idt)
+        node = np.empty(A0, idt)
+        scr = np.empty(A0, idt)
+        scr2 = np.empty(A0, idt)
+        xc = np.empty(A0, np.int32)
+        leaf_buf = np.empty(A0, np.bool_)
+        vals = np.empty((n_trees, chunk))
+        acc = np.empty((n_trees + 1, chunk))
+        pair0 = (
+            np.repeat(active_trees, chunk) * chunk
+            + np.tile(np.arange(chunk, dtype=np.int64), nt_act)
+        ).astype(idt)
+        rowd0 = ((pair0 & (chunk - 1)) * d).astype(idt)
+        node0 = np.repeat(roots[active_trees], chunk).astype(idt)
+        for ti in np.flatnonzero(self.single_leaf):
+            vals[ti, :] = pv[roots[ti]]
+        row_mask = chunk - 1
+        vflat = vals.reshape(-1)
+        for clo in range(lo, hi, chunk):
+            chi = min(clo + chunk, hi)
+            R = chi - clo
+            Cf = codes[clo:chi].reshape(-1)
+            if R == chunk:
+                A = A0
+                node[:A] = node0
+                pairA[:A] = pair0
+                rowdA[:A] = rowd0
+            else:
+                A = nt_act * R
+                node[:A] = np.repeat(roots[active_trees], R).astype(idt)
+                pairA[:A] = (
+                    np.repeat(active_trees, R) * chunk
+                    + np.tile(np.arange(R, dtype=np.int64), nt_act)
+                ).astype(idt)
+                rowdA[:A] = (pairA[:A] & row_mask) * d
+            level = 0
+            while A:
+                c = cA[:A]
+                np.take(rec, node[:A], out=c)
+                level += 1
+                if level % cshift == 0:
+                    # Retire finished pairs and compact the active set.
+                    finished = leaf_buf[:A]
+                    cl = scr[:A]
+                    np.bitwise_and(c, leaf_code, out=cl)
+                    np.equal(cl, leaf_code, out=finished)
+                    if np.count_nonzero(finished):
+                        done = np.flatnonzero(finished)
+                        vflat[pairA[:A].take(done)] = pv.take(node[:A].take(done))
+                        keep = np.flatnonzero(np.logical_not(finished, out=finished))
+                        A2 = keep.size
+                        np.take(c, keep, out=cB[:A2])
+                        np.take(pairA[:A], keep, out=pairB[:A2])
+                        np.take(rowdA[:A], keep, out=rowdB[:A2])
+                        cA, cB = cB, cA
+                        pairA, pairB = pairB, pairA
+                        rowdA, rowdB = rowdB, rowdA
+                        A = A2
+                        if A == 0:
+                            break
+                        c = cA[:A]
+                # flat code-matrix index = rowd + feature, where the
+                # row-offset rowd = (pair & (chunk-1)) * d is maintained
+                # through compactions instead of recomputed every level.
+                f = scr[:A]
+                np.right_shift(c, f_shift, out=f)
+                np.bitwise_and(f, f_base_mask, out=f)
+                np.add(f, rowdA[:A], out=f)
+                x = xc[:A]
+                np.take(Cf, f, out=x)
+                # sign trick: (code - x_code) >> 31 is 0 (left) or -1 (right)
+                s = scr2[:A]
+                np.bitwise_and(c, leaf_code, out=s)
+                np.subtract(s, x, out=s)
+                np.right_shift(s, 31, out=s)
+                np.right_shift(c, l1_shift, out=c)
+                np.subtract(c, s, out=node[:A])
+            if out_values is not None:
+                out_values[:, clo:chi] = vals[:, :R]
+            if out is not None:
+                a = acc[:, :R]
+                a[0] = self.init_score
+                a[1:] = vals[:, :R]
+                np.cumsum(a, axis=0, out=a)
+                out[clo:chi] = a[-1]
+
+    def _auto_chunk(self) -> int:
+        """Largest power-of-two chunk keeping ~32k active (row, tree) pairs.
+
+        Deep forests want small chunks (the compacted active set stays
+        cache-resident); small forests want big chunks (fewer per-chunk
+        setups and reductions).
+        """
+        nt_act = max(self.active_trees.size, 1)
+        chunk = 64
+        while chunk < 1024 and chunk * 2 * nt_act <= 32768:
+            chunk *= 2
+        return chunk
+
+    def _evaluate(
+        self,
+        X: np.ndarray,
+        out_values: np.ndarray | None = None,
+        chunk: int | None = None,
+        cshift: int = 5,
+        n_jobs: int | None = None,
+    ) -> np.ndarray:
+        if chunk is None:
+            chunk = self._auto_chunk()
+        if chunk < 1 or chunk & (chunk - 1):
+            raise ValueError("chunk must be a positive power of two")
+        if cshift < 1:
+            raise ValueError("cshift must be >= 1")
+        codes = self.digitize(X)
+        N = codes.shape[0]
+        out = None if out_values is not None else np.empty(N)
+        n_jobs = _default_n_jobs if n_jobs is None else int(n_jobs)
+        n_blocks = min(max(n_jobs, 1), max(1, -(-N // chunk)))
+        if n_blocks <= 1 or N == 0:
+            if N:
+                self._eval_block(codes, 0, N, out, out_values, chunk, cshift)
+            return out
+        # Split rows into chunk-aligned blocks; rows never interact, so the
+        # result is identical to the single-threaded pass.
+        chunks_total = -(-N // chunk)
+        per_block = -(-chunks_total // n_blocks) * chunk
+        bounds = [
+            (lo, min(lo + per_block, N)) for lo in range(0, N, per_block)
+        ]
+        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+            futures = [
+                pool.submit(
+                    self._eval_block, codes, lo, hi, out, out_values, chunk, cshift
+                )
+                for lo, hi in bounds
+            ]
+            for future in futures:
+                future.result()
+        return out
+
+    def predict_raw(
+        self,
+        X: np.ndarray,
+        chunk: int | None = None,
+        cshift: int = 5,
+        n_jobs: int | None = None,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """``init + sum of trees`` for every row, bitwise equal to the loop."""
+        X = np.ascontiguousarray(np.atleast_2d(X), dtype=np.float64)
+        key = None
+        if use_cache and PREDICTION_CACHE_SIZE > 0:
+            key = (X.shape, hashlib.blake2b(X, digest_size=16).digest())
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                return hit.copy()
+        out = self._evaluate(X, chunk=chunk, cshift=cshift, n_jobs=n_jobs)
+        if key is not None:
+            self._cache[key] = out.copy()
+            while len(self._cache) > PREDICTION_CACHE_SIZE:
+                self._cache.popitem(last=False)
+        return out
+
+    def leaf_value_matrix(self, X: np.ndarray, n_jobs: int | None = None) -> np.ndarray:
+        """Per-tree leaf values, shape ``(n_trees, n_rows)`` (staged helper)."""
+        X = np.ascontiguousarray(np.atleast_2d(X), dtype=np.float64)
+        values = np.empty((self.n_trees, X.shape[0]))
+        self._evaluate(X, out_values=values, n_jobs=n_jobs)
+        return values
+
+    def staged_predict_raw(self, X: np.ndarray):
+        """Yield the raw score after each tree, bitwise equal to the loop."""
+        values = self.leaf_value_matrix(X)
+        raw = np.full(values.shape[1], self.init_score)
+        for t in range(self.n_trees):
+            raw = raw + values[t]
+            yield raw.copy()
+
+    def clear_cache(self) -> None:
+        """Drop all cached prediction results."""
+        self._cache.clear()
+
+
+# ----------------------------------------------------------------------
+# model integration: cached packing, invalidation, engine dispatch
+# ----------------------------------------------------------------------
+def invalidate_packed(model) -> None:
+    """Drop a model's cached :class:`PackedForest` (call after mutating it).
+
+    Mutations are also caught automatically by the structural fingerprint
+    check in :func:`packed_for`; this hook just makes the common sites
+    (fit, early-stopping truncation) explicit and cheap.
+    """
+    model.__dict__.pop("_packed_state", None)
+
+
+def packed_for(model) -> PackedForest | None:
+    """The up-to-date :class:`PackedForest` of a fitted forest-protocol model.
+
+    Re-packs when the model's structural fingerprint changed since the
+    last call; returns ``None`` when the forest cannot be packed.
+    """
+    trees = getattr(model, "trees_", None)
+    if not trees:
+        return None
+    fingerprint = _forest_fingerprint(trees, model.init_score_)
+    state = model.__dict__.get("_packed_state")
+    if state is not None and state[0] == fingerprint:
+        return state[1]
+    packed = PackedForest.pack(trees, model.init_score_, int(model.n_features_))
+    model.__dict__["_packed_state"] = (fingerprint, packed)
+    return packed
+
+
+def dispatch_predict_raw(model, X: np.ndarray) -> np.ndarray | None:
+    """Packed-engine ``predict_raw`` for ``model``, or ``None`` to fall back."""
+    if _engine != "packed":
+        return None
+    packed = packed_for(model)
+    if packed is None:
+        return None
+    return packed.predict_raw(X)
+
+
+def dispatch_staged_predict_raw(model, X: np.ndarray):
+    """Packed-engine staged prediction generator, or ``None`` to fall back."""
+    if _engine != "packed":
+        return None
+    packed = packed_for(model)
+    if packed is None:
+        return None
+    if packed.n_trees * np.atleast_2d(X).shape[0] > _STAGED_MAX_ELEMENTS:
+        return None
+    return packed.staged_predict_raw(X)

@@ -18,7 +18,8 @@ import numpy as np
 from .binning import BinMapper
 from .grower import TreeGrowerParams, grow_tree
 from .losses import sigmoid
-from .tree import Tree
+from .packed import dispatch_predict_raw, invalidate_packed
+from .tree import Tree, accumulate_importance
 
 __all__ = ["RandomForestRegressor", "RandomForestClassifier"]
 
@@ -105,6 +106,7 @@ class _BaseRandomForest:
             tree.value /= self.n_estimators  # sum of trees == bagged average
             self.trees_.append(tree)
             self._bootstrap_rows.append(np.unique(rows))
+        invalidate_packed(self)
         return self
 
     def oob_prediction(self, X: np.ndarray) -> np.ndarray:
@@ -134,10 +136,18 @@ class _BaseRandomForest:
             return np.where(counts > 0, totals / np.maximum(counts, 1), np.nan)
 
     def predict_raw(self, X: np.ndarray) -> np.ndarray:
-        """Bagged average output, expressed as ``init + sum of trees``."""
+        """Bagged average output, expressed as ``init + sum of trees``.
+
+        The leaf values are pre-divided by ``n_estimators`` at fit time,
+        so the packed engine's sum reduction *is* the bagged mean (and the
+        classifier's soft vote); the per-tree loop is the fallback.
+        """
         if not self.trees_:
             raise RuntimeError("model is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        packed = dispatch_predict_raw(self, X)
+        if packed is not None:
+            return packed
         raw = np.full(X.shape[0], self.init_score_)
         for tree in self.trees_:
             raw += tree.predict(X)
@@ -152,16 +162,7 @@ class _BaseRandomForest:
         """Accumulated gain (or split count) per feature across the forest."""
         if not self.trees_:
             raise RuntimeError("model is not fitted")
-        imp = np.zeros(self.n_features_)
-        for tree in self.trees_:
-            if importance_type == "gain":
-                imp += tree.feature_gains(self.n_features_)
-            elif importance_type == "split":
-                for node in tree.internal_nodes():
-                    imp[tree.feature[node]] += 1
-            else:
-                raise ValueError("importance_type must be 'gain' or 'split'")
-        return imp
+        return accumulate_importance(self.trees_, self.n_features_, importance_type)
 
 
 class RandomForestRegressor(_BaseRandomForest):

@@ -24,10 +24,30 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["Tree", "LEAF"]
+__all__ = ["LEAF", "Tree", "accumulate_importance"]
 
 #: Sentinel stored in ``Tree.feature`` for leaf nodes.
 LEAF = -1
+
+
+def accumulate_importance(
+    trees: list["Tree"], n_features: int, importance_type: str
+) -> np.ndarray:
+    """Per-feature gain sum or split count over ``trees`` in one bincount.
+
+    Shared by the GBDT and RF ``feature_importance`` methods; a single
+    concatenation plus ``np.bincount`` replaces the per-node Python loops.
+    """
+    if importance_type not in ("gain", "split"):
+        raise ValueError("importance_type must be 'gain' or 'split'")
+    feats = np.concatenate([t.feature[t.feature != LEAF] for t in trees])
+    if importance_type == "gain":
+        weights = np.concatenate([t.gain[t.feature != LEAF] for t in trees])
+    else:
+        weights = None
+    return np.bincount(feats, weights=weights, minlength=n_features).astype(
+        np.float64
+    )
 
 
 @dataclass
@@ -98,17 +118,29 @@ class Tree:
     # prediction
     # ------------------------------------------------------------------
     def apply(self, X: np.ndarray) -> np.ndarray:
-        """Leaf index reached by every row of ``X`` (vectorized descent)."""
+        """Leaf index reached by every row of ``X`` (vectorized descent).
+
+        The active set is kept as compacted parallel arrays (``rows``,
+        ``cur``) that shrink as rows hit leaves, so each level touches only
+        the rows still descending instead of re-deriving masks over the
+        full batch.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         node = np.zeros(X.shape[0], dtype=np.int32)
-        active = self.feature[node] != LEAF
+        if self.feature[0] == LEAF:
+            return node
         rows = np.arange(X.shape[0])
-        while np.any(active):
-            idx = node[active]
-            feats = self.feature[idx]
-            go_left = X[rows[active], feats] <= self.threshold[idx]
-            node[active] = np.where(go_left, self.left[idx], self.right[idx])
-            active = self.feature[node] != LEAF
+        cur = node[rows]
+        while rows.size:
+            feats = self.feature[cur]
+            go_left = X[rows, feats] <= self.threshold[cur]
+            cur = np.where(go_left, self.left[cur], self.right[cur])
+            at_leaf = self.feature[cur] == LEAF
+            if at_leaf.any():
+                node[rows[at_leaf]] = cur[at_leaf]
+                keep = ~at_leaf
+                rows = rows[keep]
+                cur = cur[keep]
         return node
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -146,10 +178,10 @@ class Tree:
 
     def feature_gains(self, n_features: int) -> np.ndarray:
         """Per-feature accumulated split gain within this tree."""
-        gains = np.zeros(n_features)
-        for node in self.internal_nodes():
-            gains[self.feature[node]] += self.gain[node]
-        return gains
+        internal = self.feature != LEAF
+        return np.bincount(
+            self.feature[internal], weights=self.gain[internal], minlength=n_features
+        )
 
     def used_features(self) -> set[int]:
         """Set of feature indices appearing in any split of this tree."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .pdp import pd_at_points
+from .pdp import as_predict_fn, pd_at_points
 
 __all__ = ["h_statistic", "h_statistic_matrix"]
 
@@ -31,8 +31,11 @@ def h_statistic(
     """H^2 of one feature pair, estimated on ``sample``.
 
     ``background`` defaults to ``sample`` itself (the usual estimator); a
-    smaller background can be passed to cut cost.
+    smaller background can be passed to cut cost.  ``predict_fn`` may be a
+    callable or any forest-protocol model (see
+    :func:`~repro.xai.pdp.as_predict_fn`).
     """
+    predict_fn = as_predict_fn(predict_fn)
     sample = np.atleast_2d(np.asarray(sample, dtype=np.float64))
     if background is None:
         background = sample
@@ -67,6 +70,7 @@ def h_statistic_matrix(
     The univariate centered PDs are computed once per feature and shared
     across pairs.
     """
+    predict_fn = as_predict_fn(predict_fn)
     sample = np.atleast_2d(np.asarray(sample, dtype=np.float64))
     if background is None:
         background = sample

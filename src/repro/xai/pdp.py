@@ -17,14 +17,32 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "as_predict_fn",
+    "ice_curves",
     "partial_dependence_1d",
     "partial_dependence_2d",
     "pd_at_points",
-    "ice_curves",
 ]
 
 #: Upper bound on the number of rows materialized per predict call.
 _MAX_BATCH_ROWS = 200_000
+
+
+def as_predict_fn(model_or_fn):
+    """Coerce a forest-protocol model or a callable into a predict function.
+
+    Every evaluator here accepts either a raw callable or a fitted forest;
+    forests are mapped to their ``predict_raw``, which dispatches to the
+    packed single-pass engine when that engine is selected — the batched
+    grid x background products built below are exactly the large calls the
+    packed descent amortizes best.
+    """
+    predict_raw = getattr(model_or_fn, "predict_raw", None)
+    if predict_raw is not None and not callable(model_or_fn):
+        return predict_raw
+    if not callable(model_or_fn):
+        raise TypeError("expected a callable or a model with predict_raw")
+    return model_or_fn
 
 
 def _validate_background(background: np.ndarray) -> np.ndarray:
@@ -71,6 +89,7 @@ def partial_dependence_1d(
     With ``center=True`` the mean over the grid evaluations is subtracted
     (Friedman's convention).
     """
+    predict_fn = as_predict_fn(predict_fn)
     background = _validate_background(background)
     grid = np.asarray(grid, dtype=np.float64).ravel()
     pd_vals = _batched_pd(predict_fn, background, [feature], grid[:, None])
@@ -89,6 +108,7 @@ def partial_dependence_2d(
     center: bool = False,
 ) -> np.ndarray:
     """PD surface of a feature pair on the cartesian grid (``(gi, gj)``)."""
+    predict_fn = as_predict_fn(predict_fn)
     background = _validate_background(background)
     grid_i = np.asarray(grid_i, dtype=np.float64).ravel()
     grid_j = np.asarray(grid_j, dtype=np.float64).ravel()
@@ -113,6 +133,7 @@ def pd_at_points(
     ``points`` has shape ``(m, len(features))``; the result has shape
     ``(m,)``.
     """
+    predict_fn = as_predict_fn(predict_fn)
     background = _validate_background(background)
     points = np.atleast_2d(np.asarray(points, dtype=np.float64))
     if points.shape[1] != len(features):
@@ -130,6 +151,7 @@ def ice_curves(
     grid: np.ndarray,
 ) -> np.ndarray:
     """Individual Conditional Expectation curves, shape ``(n_rows, n_grid)``."""
+    predict_fn = as_predict_fn(predict_fn)
     background = _validate_background(background)
     grid = np.asarray(grid, dtype=np.float64).ravel()
     work = background.copy()

@@ -20,7 +20,12 @@ import numpy as np
 
 from ..forest.tree import Tree
 
-__all__ = ["TreeShapExplainer", "tree_shap_values", "tree_shap_interaction_values"]
+__all__ = [
+    "TreeShapExplainer",
+    "forest_expected_value",
+    "tree_shap_interaction_values",
+    "tree_shap_values",
+]
 
 
 class _Path:
@@ -239,6 +244,32 @@ def expected_tree_value(tree: Tree) -> float:
     return float(np.dot(tree.value[leaves], weights) / total)
 
 
+def forest_expected_value(trees: list[Tree], init_score: float = 0.0) -> float:
+    """Base prediction of a whole forest: init plus per-tree expected values.
+
+    Vectorized over the forest: all leaves are concatenated once and the
+    per-tree cover-weighted means come out of three ``np.bincount`` calls
+    instead of a Python loop over trees.
+    """
+    values = [t.value[t.feature == -1] for t in trees]
+    weights = [t.n_samples[t.feature == -1].astype(np.float64) for t in trees]
+    counts = np.array([v.size for v in values])
+    ids = np.repeat(np.arange(len(trees)), counts)
+    v = np.concatenate(values)
+    w = np.concatenate(weights)
+    n = len(trees)
+    w_sum = np.bincount(ids, weights=w, minlength=n)
+    wv_sum = np.bincount(ids, weights=w * v, minlength=n)
+    v_sum = np.bincount(ids, weights=v, minlength=n)
+    # Trees with no recorded cover fall back to the plain leaf mean.
+    means = np.where(
+        w_sum > 0,
+        wv_sum / np.where(w_sum > 0, w_sum, 1.0),
+        v_sum / np.maximum(counts, 1),
+    )
+    return float(init_score) + float(means.sum())
+
+
 class TreeShapExplainer:
     """SHAP explainer for any model following the forest protocol.
 
@@ -259,8 +290,8 @@ class TreeShapExplainer:
             raise ValueError("forest is not fitted")
         self.forest = forest
         self.n_features = int(forest.n_features_)
-        self.expected_value = float(forest.init_score_) + sum(
-            expected_tree_value(t) for t in forest.trees_
+        self.expected_value = forest_expected_value(
+            forest.trees_, forest.init_score_
         )
 
     def shap_values(self, X: np.ndarray) -> np.ndarray:

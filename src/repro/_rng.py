@@ -1,0 +1,39 @@
+"""Randomness discipline: one normalization point for RNG handling.
+
+No code in ``src/`` touches numpy's process-global RNG (the
+``rng-global-state`` lint rule enforces this).  Every randomized API
+takes a ``random_state`` that may be
+
+* ``None`` — fresh OS entropy,
+* an ``int`` seed — the reproducible default everywhere in this repo,
+* an ``np.random.Generator`` — callers stream their own randomness
+  through, e.g. to correlate or deliberately decorrelate sub-runs.
+
+:func:`as_generator` maps all three onto a ``Generator``.  Passing a
+``Generator`` returns it unchanged (shared state, deliberately), so a
+caller-supplied stream advances across calls while int seeds keep their
+historical bit-exact behavior.
+
+This module lives outside ``repro.core`` so that every layer (datasets,
+cluster, forest, xai, core) can import it without import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator"]
+
+
+def as_generator(
+    random_state: int | np.random.Generator | None = None,
+) -> np.random.Generator:
+    """Normalize ``random_state`` to an ``np.random.Generator``.
+
+    Ints and ``None`` are seeded fresh (bit-identical to
+    ``np.random.default_rng``); ``Generator`` instances pass through
+    unchanged so their stream is shared with the caller.
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)

@@ -130,6 +130,12 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .devtools.check import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_report(args) -> int:
     from .core import explanation_report, load_explanation
 
@@ -188,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument("--verbose", action="store_true")
     explain.set_defaults(func=_cmd_explain)
+
+    check = sub.add_parser(
+        "check", help="run the AST lint rules against the source tree"
+    )
+    from .devtools.check import add_check_arguments
+
+    add_check_arguments(check)
+    check.set_defaults(func=_cmd_check)
 
     report = sub.add_parser(
         "report", help="render a report from a saved explanation archive"

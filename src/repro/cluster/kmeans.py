@@ -9,6 +9,7 @@ convenience wrapper is provided alongside the general implementation.
 from __future__ import annotations
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = ["KMeans", "kmeans_1d_centroids"]
 
@@ -22,7 +23,7 @@ class KMeans:
         n_init: int = 5,
         max_iter: int = 100,
         tol: float = 1e-8,
-        random_state: int | None = None,
+        random_state: int | np.random.Generator | None = None,
     ):
         if n_clusters < 1:
             raise ValueError("n_clusters must be >= 1")
@@ -42,7 +43,7 @@ class KMeans:
             raise ValueError(
                 f"n_samples={X.shape[0]} < n_clusters={self.n_clusters}"
             )
-        rng = np.random.default_rng(self.random_state)
+        rng = as_generator(self.random_state)
         best = None
         for _ in range(self.n_init):
             centers, labels, inertia = self._single_run(X, rng)
@@ -101,7 +102,7 @@ class KMeans:
 
 
 def kmeans_1d_centroids(
-    values: np.ndarray, k: int, random_state: int | None = None
+    values: np.ndarray, k: int, random_state: int | np.random.Generator | None = None
 ) -> np.ndarray:
     """Sorted centroids of a 1-D k-means over ``values``.
 

@@ -14,11 +14,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .numerics import get_numerics_mode, set_numerics_mode
+
 __all__ = [
     "GEFConfig",
     "INTERACTION_STRATEGY_NAMES",
     "SAMPLING_STRATEGY_NAMES",
+    "get_numerics_mode",
     "get_prediction_engine",
+    "set_numerics_mode",
     "set_prediction_engine",
 ]
 
@@ -97,6 +101,9 @@ class GEFConfig:
         What the forest labels D* with: ``"auto"`` (raw score for
         regressors, probability for classifiers), ``"raw"`` or
         ``"probability"``.
+    random_state:
+        Seed (or an ``np.random.Generator`` to stream caller-owned
+        randomness) for domain construction and D* sampling.
     """
 
     n_univariate: int | None = None
@@ -114,7 +121,7 @@ class GEFConfig:
     test_fraction: float = 0.2
     hstat_sample: int = 100
     label: str = "auto"
-    random_state: int | None = 0
+    random_state: int | np.random.Generator | None = 0
 
     def __post_init__(self):
         if self.sampling_strategy not in SAMPLING_STRATEGY_NAMES:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = ["ExplanationDataset", "sample_instances", "generate_dataset"]
 
@@ -71,12 +72,12 @@ def generate_dataset(
     n_samples: int,
     test_fraction: float = 0.2,
     label: str = "auto",
-    random_state: int | None = 0,
+    random_state: int | np.random.Generator | None = 0,
 ) -> ExplanationDataset:
     """Build D*: sample instances, label with the forest, split train/test."""
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
-    rng = np.random.default_rng(random_state)
+    rng = as_generator(random_state)
     X = sample_instances(domains, n_samples, int(forest.n_features_), rng)
     y = _label_with_forest(forest, X, label)
     n_test = max(1, int(round(test_fraction * n_samples)))

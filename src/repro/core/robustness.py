@@ -111,7 +111,7 @@ def minimal_shift(
     Returns ``None`` when no single feature can achieve the shift — itself
     a robustness statement.
     """
-    if delta == 0.0:
+    if delta == 0.0:  # repro: allow(float-eq) exact zero is the one invalid input; test_minimal_shift_rejects_zero_delta
         raise ValueError("delta must be nonzero")
     x = np.asarray(x, dtype=np.float64).ravel()
     best: MinimalShift | None = None

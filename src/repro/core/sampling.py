@@ -20,6 +20,7 @@ import numpy as np
 
 from ..cluster import kmeans_1d_centroids
 from .feature_selection import feature_thresholds
+from .numerics import assert_strictly_increasing
 
 __all__ = [
     "all_thresholds_domain",
@@ -87,7 +88,7 @@ def equi_width_domain(
 
 
 def k_means_domain(
-    thresholds: np.ndarray, k: int, random_state: int | None = 0
+    thresholds: np.ndarray, k: int, random_state: int | np.random.Generator | None = 0
 ) -> np.ndarray:
     """Centroids of a 1-D k-means over the thresholds (k = min(|V_i|, K))."""
     thresholds = _validate_thresholds(thresholds)
@@ -111,7 +112,7 @@ def build_domain(
     strategy: str,
     k: int = 64,
     epsilon_fraction: float = 0.05,
-    random_state: int | None = 0,
+    random_state: int | np.random.Generator | None = 0,
 ) -> np.ndarray:
     """Sampling domain of one feature under the named strategy.
 
@@ -123,7 +124,9 @@ def build_domain(
     straddles the split.
     """
     if strategy == "all-thresholds":
-        return all_thresholds_domain(thresholds, epsilon_fraction)
+        domain = all_thresholds_domain(thresholds, epsilon_fraction)
+        assert_strictly_increasing(domain, f"sampling domain [{strategy}]")
+        return domain
     if strategy == "k-quantile":
         domain = k_quantile_domain(thresholds, k)
     elif strategy == "equi-width":
@@ -135,7 +138,8 @@ def build_domain(
     else:
         raise ValueError(f"unknown sampling strategy {strategy!r}")
     if len(domain) < 2:
-        return all_thresholds_domain(thresholds, epsilon_fraction)
+        domain = all_thresholds_domain(thresholds, epsilon_fraction)
+    assert_strictly_increasing(domain, f"sampling domain [{strategy}]")
     return domain
 
 
@@ -144,7 +148,7 @@ def build_sampling_domains(
     strategy: str,
     k: int = 64,
     epsilon_fraction: float = 0.05,
-    random_state: int | None = 0,
+    random_state: int | np.random.Generator | None = 0,
 ) -> dict[int, np.ndarray]:
     """Sampling domains for every feature the forest splits on.
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = ["load_census", "CensusData", "CATEGORICAL_LEVELS"]
 
@@ -106,12 +107,12 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
 def load_census(
     n: int = 48_842,
     train_fraction: float = 0.8,
-    seed: int | None = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> CensusData:
     """Generate the synthetic Census dataset (one-hot encoded)."""
     if n < 10:
         raise ValueError("n must be at least 10")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
 
     age = np.clip(rng.normal(38.5, 13.5, size=n), 17, 90).round()
     fnlwgt = rng.lognormal(12.0, 0.45, size=n).round()

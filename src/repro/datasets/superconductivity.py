@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = [
     "PROPERTIES",
@@ -178,7 +179,7 @@ def load_superconductivity(
     n: int = 21_263,
     train_fraction: float = 0.8,
     noise_std: float = 5.0,
-    seed: int | None = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> SuperconductivityData:
     """Generate the synthetic Superconductivity dataset.
 
@@ -187,7 +188,7 @@ def load_superconductivity(
     """
     if n < 10:
         raise ValueError("n must be at least 10")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     max_elements = 9
 
     # Number of elements per material, skewed toward 3-5 like the original.

@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = [
     "GENERATORS",
@@ -133,7 +134,7 @@ def make_d_prime(
     n: int = 10_000,
     train_fraction: float = 0.8,
     noise_std: float = NOISE_STD,
-    seed: int | None = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> SyntheticDataset:
     """Dataset D': g' plus per-generator noise, split 80/20."""
     return make_d_double_prime(
@@ -146,12 +147,12 @@ def make_d_double_prime(
     n: int = 10_000,
     train_fraction: float = 0.8,
     noise_std: float = NOISE_STD,
-    seed: int | None = 0,
+    seed: int | np.random.Generator | None = 0,
 ) -> SyntheticDataset:
     """Dataset D'' for a given interaction set Pi (D' when Pi is empty)."""
     if not 0.0 < train_fraction < 1.0:
         raise ValueError("train_fraction must be in (0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     X, y = _sample(n, pairs, noise_std, rng)
     n_train = int(round(train_fraction * n))
     return SyntheticDataset(
@@ -174,13 +175,13 @@ def all_interaction_triples() -> list[tuple[tuple[int, int], ...]]:
 
 
 def sigmoid_1d(
-    n: int = 2_000, steepness: float = 50.0, seed: int | None = 0
+    n: int = 2_000, steepness: float = 50.0, seed: int | np.random.Generator | None = 0
 ) -> tuple[np.ndarray, np.ndarray]:
     """The 1-D sigmoid workload of Figure 3's sampling illustration.
 
     ``y = exp(k (x - 0.5)) / (exp(k (x - 0.5)) + 1)`` on x ~ U[0, 1].
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     x = rng.uniform(0.0, 1.0, size=(n, 1))
     z = np.exp(steepness * (x[:, 0] - 0.5))
     y = z / (z + 1.0)

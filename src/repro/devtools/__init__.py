@@ -1,0 +1,38 @@
+"""Static-analysis devtools: the ``repro check`` lint subsystem.
+
+A self-contained AST lint engine with repo-specific rules (RNG
+discipline, thread-safety audit of module globals, mutable defaults,
+float equality, exception hygiene, ``__all__``/docstring coverage,
+builtin shadowing), a committed baseline for grandfathered findings, and
+text/JSON reporters.  Run it as ``repro check``, ``repro-check`` or the
+tier-1 gate ``tests/devtools/test_check_gate.py``.  DESIGN.md §8 has the
+architecture and rule catalog.
+"""
+
+from .baseline import filter_baselined, load_baseline, save_baseline
+from .check import main, run_check
+from .engine import LintRule, ModuleContext, lint_file, lint_paths
+from .findings import SEVERITIES, Finding
+from .registry import THREAD_SAFETY_REGISTRY, is_registered
+from .reporters import render_json, render_text
+from .rules import default_rules, rule_catalog
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "ModuleContext",
+    "SEVERITIES",
+    "THREAD_SAFETY_REGISTRY",
+    "default_rules",
+    "filter_baselined",
+    "is_registered",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "main",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "run_check",
+    "save_baseline",
+]

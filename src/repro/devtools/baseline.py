@@ -1,0 +1,114 @@
+"""Grandfathered-findings baseline: load, match, update.
+
+The baseline is a committed JSON file listing findings that predate the
+linter (or that cannot be fixed yet, with a ``reason`` saying why).
+``repro check`` fails only on findings *not* in the baseline, so the gate
+can be adopted on an imperfect codebase and ratcheted down: fixing a
+finding strands its baseline entry, and ``--update-baseline`` garbage
+collects stranded entries while never adding new ones silently.
+
+Entries match on ``(file, rule_id, message)`` — no line numbers — so
+unrelated edits don't invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = [
+    "baseline_keys",
+    "filter_baselined",
+    "load_baseline",
+    "save_baseline",
+]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> list[dict]:
+    """Baseline entries from ``path``; an absent file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    entries = payload.get("entries", [])
+    for entry in entries:
+        for key in ("file", "rule_id", "message"):
+            if key not in entry:
+                raise ValueError(f"baseline entry missing {key!r}: {entry}")
+    return entries
+
+
+def save_baseline(
+    path: Path | str,
+    findings: Iterable[Finding],
+    reasons: dict[tuple[str, str, str], str] | None = None,
+) -> None:
+    """Write ``findings`` as the new baseline (sorted, deduplicated).
+
+    ``reasons`` maps a finding's baseline key to the justification string
+    stored with the entry (JSON has no comments, so the "why is this
+    grandfathered" note lives in the entry itself).
+    """
+    reasons = reasons or {}
+    seen = set()
+    entries = []
+    for finding in sorted(findings):
+        key = finding.baseline_key
+        if key in seen:
+            continue
+        seen.add(key)
+        entry = {
+            "file": finding.file,
+            "rule_id": finding.rule_id,
+            "message": finding.message,
+        }
+        if key in reasons:
+            entry["reason"] = reasons[key]
+        entries.append(entry)
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def baseline_keys(entries: Iterable[dict]) -> frozenset[tuple[str, str, str]]:
+    """The match keys of loaded baseline ``entries``."""
+    return frozenset(
+        (entry["file"], entry["rule_id"], entry["message"]) for entry in entries
+    )
+
+
+def filter_baselined(
+    findings: Iterable[Finding], entries: Iterable[dict]
+) -> tuple[list[Finding], list[dict]]:
+    """Split findings against the baseline.
+
+    Returns ``(new_findings, stranded_entries)`` — findings with no
+    baseline entry, and baseline entries whose finding no longer occurs
+    (fixed code; candidates for garbage collection).
+    """
+    entries = list(entries)
+    keys = baseline_keys(entries)
+    found_keys = set()
+    fresh = []
+    for finding in findings:
+        if finding.baseline_key in keys:
+            found_keys.add(finding.baseline_key)
+        else:
+            fresh.append(finding)
+    stranded = [
+        entry
+        for entry in entries
+        if (entry["file"], entry["rule_id"], entry["message"]) not in found_keys
+    ]
+    return fresh, stranded

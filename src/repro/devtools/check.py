@@ -1,0 +1,121 @@
+"""The ``repro check`` command: lint the tree against the baseline.
+
+Exit codes: 0 clean (every finding baselined, no stranded entries),
+1 non-baselined findings (or stranded baseline entries without
+``--update-baseline``), 2 usage errors.  The same function backs the
+``repro check`` subcommand, the ``repro-check`` console script and the
+tier-1 pytest gate in ``tests/devtools/test_check_gate.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import filter_baselined, load_baseline, save_baseline
+from .engine import lint_paths
+from .reporters import render_json, render_text
+from .rules import default_rules, rule_catalog
+
+__all__ = ["add_check_arguments", "main", "run_check"]
+
+BASELINE_NAME = "lint_baseline.json"
+
+
+def find_project_root(start: Path | None = None) -> Path:
+    """Nearest ancestor of ``start`` holding ``pyproject.toml`` (else cwd)."""
+    here = (Path.cwd() if start is None else Path(start)).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return Path.cwd().resolve()
+
+
+def run_check(
+    paths: list[str | Path] | None = None,
+    baseline: str | Path | None = None,
+    output_format: str = "text",
+    update_baseline: bool = False,
+    stream=None,
+) -> int:
+    """Lint ``paths`` and report; returns the process exit code."""
+    stream = sys.stdout if stream is None else stream
+    root = find_project_root(Path(paths[0]) if paths else None)
+    if not paths:
+        src = root / "src"
+        paths = [src if src.is_dir() else root]
+    baseline_path = Path(baseline) if baseline else root / BASELINE_NAME
+    findings = lint_paths([Path(p) for p in paths], default_rules(), root=root)
+    entries = load_baseline(baseline_path)
+    fresh, stranded = filter_baselined(findings, entries)
+    baselined = len(findings) - len(fresh)
+    if update_baseline:
+        keep = {
+            (e["file"], e["rule_id"], e["message"]): e.get("reason", "")
+            for e in entries
+        }
+        reasons = {k: v for k, v in keep.items() if v}
+        save_baseline(baseline_path, findings, reasons=reasons)
+        stranded = []
+    renderer = render_json if output_format == "json" else render_text
+    stream.write(renderer(fresh, baselined=baselined, stranded=len(stranded)))
+    if output_format == "text":
+        stream.write("\n")
+    return 1 if fresh or stranded else 0
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install ``repro check`` arguments on ``parser`` (shared with the
+    ``repro-check`` console script)."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the project's src/)",
+    )
+    parser.add_argument(
+        "--format", dest="output_format", choices=("text", "json"),
+        default="text", help="report format",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: <project root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings "
+             "(keeps reasons, drops stranded entries)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Dispatch parsed ``check`` arguments (shared CLI glue)."""
+    if args.list_rules:
+        for rule_id, severity, description in rule_catalog():
+            print(f"{rule_id:22s} {severity:8s} {description}")
+        return 0
+    return run_check(
+        paths=args.paths or None,
+        baseline=args.baseline,
+        output_format=args.output_format,
+        update_baseline=args.update_baseline,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-check`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="AST lint for the repro codebase (see DESIGN.md §8)",
+    )
+    add_check_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""AST lint engine: rule registry, visitor dispatch, pragma waivers.
+
+The engine parses each ``.py`` file once, walks the tree once, and
+dispatches every node to the rules that declared interest in its type —
+adding a rule never adds another pass.  Rules receive a
+:class:`ModuleContext` giving them the parent chain (to distinguish
+module-level from nested code), the dotted module name (for registry
+lookups) and the raw source lines (for pragma detection).
+
+Intentional violations are waived at the source line with::
+
+    risky == 0.0  # repro: allow(float-eq) exact sentinel, see test_x
+
+which keeps the justification next to the code instead of in the
+baseline.  The baseline (``baseline.py``) is for *grandfathered* findings
+only — new code is expected to lint clean or carry an inline waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = [
+    "LintRule",
+    "ModuleContext",
+    "lint_file",
+    "lint_paths",
+    "module_name_for",
+]
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (stable kebab-case name), ``severity``
+    (``"error"`` or ``"warning"``), ``description`` (one line, shown by
+    ``repro check --list-rules``) and ``node_types`` (the AST node classes
+    the rule wants to see), and implement :meth:`visit`.
+    """
+
+    rule_id: str = ""
+    severity: str = "warning"
+    description: str = ""
+    node_types: tuple[type, ...] = ()
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> None:
+        """Inspect ``node``; report violations via ``ctx.report``."""
+        raise NotImplementedError
+
+
+class ModuleContext:
+    """Everything a rule may need about the module under analysis."""
+
+    def __init__(self, path: str, module: str, tree: ast.Module, source: str):
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.findings: list[Finding] = []
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(node)
+
+    def is_module_level(self, node: ast.AST) -> bool:
+        """Whether ``node`` is a direct statement of the module body."""
+        return isinstance(self.parent(node), ast.Module)
+
+    def waived_rules(self, line: int) -> frozenset[str]:
+        """Rule ids waived by a ``# repro: allow(...)`` pragma on ``line``."""
+        if not 1 <= line <= len(self.lines):
+            return frozenset()
+        match = _PRAGMA.search(self.lines[line - 1])
+        if match is None:
+            return frozenset()
+        return frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+
+    def report(self, rule: LintRule, node: ast.AST | int, message: str) -> None:
+        """Record a finding unless the offending line carries a waiver."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        if rule.rule_id in self.waived_rules(line):
+            return
+        self.findings.append(
+            Finding(
+                file=self.path,
+                line=line,
+                rule_id=rule.rule_id,
+                severity=rule.severity,
+                message=message,
+            )
+        )
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through ``__init__.py``.
+
+    Files outside any package resolve to their bare stem, which lets the
+    engine lint loose fixture snippets in tests.
+    """
+    path = Path(path).resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [path.parent.name]
+    return ".".join(reversed(parts))
+
+
+def lint_file(
+    path: Path,
+    rules: Iterable[LintRule],
+    root: Path | None = None,
+) -> list[Finding]:
+    """All findings of ``rules`` in one file, sorted by line.
+
+    ``root`` controls how the file is named in findings (paths are
+    reported relative to it, POSIX-style) so reports and baselines are
+    machine-independent.
+    """
+    path = Path(path)
+    rel = path.resolve()
+    if root is not None:
+        try:
+            rel = rel.relative_to(Path(root).resolve())
+        except ValueError:
+            pass
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=rel.as_posix(),
+                line=int(exc.lineno or 1),
+                rule_id="syntax-error",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(rel.as_posix(), module_name_for(path), tree, source)
+    dispatch: dict[type, list[LintRule]] = {}
+    for rule in rules:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            rule.visit(node, ctx)
+    return sorted(ctx.findings, key=lambda f: (f.line, f.rule_id, f.message))
+
+
+def _iter_py_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Iterable[LintRule],
+    root: Path | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    rules = list(rules)
+    findings: list[Finding] = []
+    for path in _iter_py_files(paths):
+        findings.extend(lint_file(path, rules, root=root))
+    return sorted(findings, key=lambda f: (f.file, f.line, f.rule_id, f.message))

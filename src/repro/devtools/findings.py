@@ -1,0 +1,62 @@
+"""Finding records produced by the AST lint engine.
+
+A finding pins a rule violation to an exact ``file:line``.  The *baseline
+key* deliberately excludes the line number: grandfathered findings keep
+matching as unrelated edits shift code up and down, and a baseline entry
+only dies when the offending construct itself is removed (or its message
+changes because the construct changed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Recognized severities, most severe first.  ``error`` findings are
+#: correctness hazards; ``warning`` findings are hygiene debt.  Both fail
+#: ``repro check`` unless baselined — the split only orders reports.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at an exact source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; choose from {SEVERITIES}"
+            )
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.file, self.rule_id, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (the JSON reporter's per-finding schema)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            file=str(payload["file"]),
+            line=int(payload["line"]),
+            rule_id=str(payload["rule_id"]),
+            severity=str(payload["severity"]),
+            message=str(payload["message"]),
+        )

@@ -1,0 +1,48 @@
+"""Thread-safety registry: the allowlist of module-level mutable state.
+
+The north star is a threaded, heavy-traffic service, so every module-level
+mutable object and every ``global`` rebind in ``src/`` is a latent data
+race.  The ``global-state`` lint rule flags them all — *except* the entries
+below, each of which documents its synchronization discipline.  Adding a
+new global therefore forces a conscious decision: guard it and register it
+here, or redesign it away.
+
+Disciplines used in this codebase:
+
+``lock``
+    Mutated under an explicit :class:`threading.Lock` (named alongside).
+``frozen-after-import``
+    Built once at module import and never mutated afterwards; concurrent
+    readers are safe because CPython publishes the fully built object
+    before any other thread can import the module.
+"""
+
+from __future__ import annotations
+
+__all__ = ["THREAD_SAFETY_REGISTRY", "is_registered"]
+
+#: ``(module, name) -> discipline`` for every sanctioned global.
+THREAD_SAFETY_REGISTRY: dict[tuple[str, str], str] = {
+    # repro.forest.packed — engine knobs, guarded by packed._state_lock;
+    # the per-model pack cache dict is guarded by packed._pack_lock.
+    ("repro.forest.packed", "_engine"): "lock:_state_lock",
+    ("repro.forest.packed", "_default_n_jobs"): "lock:_state_lock",
+    # repro.core.numerics — sanitizer mode, guarded by numerics._mode_lock.
+    ("repro.core.numerics", "_mode"): "lock:_mode_lock",
+    # Name -> class registries: built by a dict display at import, read-only
+    # afterwards.
+    ("repro.gam.links", "_LINKS"): "frozen-after-import",
+    ("repro.gam.distributions", "_DISTS"): "frozen-after-import",
+    ("repro.forest.losses", "_LOSSES"): "frozen-after-import",
+    ("repro.forest.model_io", "_MODEL_CLASSES"): "frozen-after-import",
+    # Public data-schema constants: dict displays read via .items()/lookup.
+    ("repro.datasets.census", "CATEGORICAL_LEVELS"): "frozen-after-import",
+    ("repro.datasets.superconductivity", "PROPERTIES"): "frozen-after-import",
+    # This registry itself.
+    ("repro.devtools.registry", "THREAD_SAFETY_REGISTRY"): "frozen-after-import",
+}
+
+
+def is_registered(module: str, name: str) -> bool:
+    """Whether ``module.name`` is a sanctioned (documented) global."""
+    return (module, name) in THREAD_SAFETY_REGISTRY

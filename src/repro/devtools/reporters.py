@@ -1,0 +1,73 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON document is the stable interface consumed by CI annotations;
+its schema is pinned by ``tests/devtools/test_reporters.py``::
+
+    {
+      "version": 1,
+      "counts": {"error": int, "warning": int},
+      "findings": [{file, line, rule_id, severity, message}, ...],
+      "baselined": int,     # findings suppressed by the baseline
+      "stranded": int       # baseline entries no longer matching anything
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .findings import SEVERITIES, Finding
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    findings: Iterable[Finding],
+    baselined: int = 0,
+    stranded: int = 0,
+) -> str:
+    """GCC-style ``file:line: severity: [rule] message`` lines + summary."""
+    findings = list(findings)
+    lines = [
+        f"{f.file}:{f.line}: {f.severity}: [{f.rule_id}] {f.message}"
+        for f in findings
+    ]
+    counts = {sev: 0 for sev in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    summary = (
+        f"{len(findings)} finding(s): "
+        + ", ".join(f"{counts[sev]} {sev}" for sev in SEVERITIES)
+    )
+    if baselined:
+        summary += f"; {baselined} baselined"
+    if stranded:
+        summary += (
+            f"; {stranded} stranded baseline entrie(s) — run "
+            f"`repro check --update-baseline` to drop them"
+        )
+    if not findings and not stranded:
+        summary = "clean: " + summary
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Finding],
+    baselined: int = 0,
+    stranded: int = 0,
+) -> str:
+    """The machine-readable report document (schema in module docstring)."""
+    findings = list(findings)
+    counts = {sev: 0 for sev in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    payload = {
+        "version": 1,
+        "counts": counts,
+        "findings": [f.to_dict() for f in findings],
+        "baselined": baselined,
+        "stranded": stranded,
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -19,6 +19,7 @@ from .grower import TreeGrowerParams, grow_tree
 from .losses import get_loss
 from .packed import dispatch_predict_raw, dispatch_staged_predict_raw, invalidate_packed
 from .tree import Tree, accumulate_importance
+from .._rng import as_generator
 
 __all__ = ["GradientBoostingRegressor", "GradientBoostingClassifier"]
 
@@ -40,7 +41,7 @@ class _BaseGradientBoosting:
         subsample: float = 1.0,
         max_bins: int = 255,
         early_stopping_rounds: int | None = None,
-        random_state: int | None = None,
+        random_state: int | np.random.Generator | None = None,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -88,7 +89,7 @@ class _BaseGradientBoosting:
         if self.early_stopping_rounds is not None and eval_set is None:
             raise ValueError("early stopping requires an eval_set")
 
-        rng = np.random.default_rng(self.random_state)
+        rng = as_generator(self.random_state)
         loss = get_loss(self._objective)
         if loss.is_classification:
             self._check_binary_targets(y)

@@ -47,12 +47,14 @@ stopping truncation, manual editing) transparently triggers a re-pack.
 from __future__ import annotations
 
 import hashlib
+import threading
 import zlib
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..core.numerics import assert_all_finite
 from .tree import LEAF, Tree
 
 __all__ = [
@@ -66,6 +68,12 @@ __all__ = [
 ]
 
 _ENGINES = ("packed", "loop")
+# Module-state discipline (see repro.devtools.registry): writes to the two
+# knobs below go through _state_lock; reads are single atomic loads under
+# the GIL and stay lock-free on the hot path.  Per-model pack caches are
+# guarded by _pack_lock.
+_state_lock = threading.Lock()
+_pack_lock = threading.Lock()
 _engine = "packed"
 _default_n_jobs = 1
 
@@ -82,7 +90,8 @@ def set_prediction_engine(name: str) -> None:
     global _engine
     if name not in _ENGINES:
         raise ValueError(f"unknown engine {name!r}; choose from {_ENGINES}")
-    _engine = name
+    with _state_lock:
+        _engine = name
 
 
 def get_prediction_engine() -> str:
@@ -95,7 +104,8 @@ def set_default_n_jobs(n_jobs: int) -> None:
     global _default_n_jobs
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
-    _default_n_jobs = int(n_jobs)
+    with _state_lock:
+        _default_n_jobs = int(n_jobs)
 
 
 def get_default_n_jobs() -> int:
@@ -145,6 +155,7 @@ class PackedForest:
         self.fingerprint = 0
         self.feat_thr: list[np.ndarray] = []
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # packing
@@ -403,6 +414,10 @@ class PackedForest:
         if n_blocks <= 1 or N == 0:
             if N:
                 self._eval_block(codes, 0, N, out, out_values, chunk, cshift)
+            if out is not None:
+                assert_all_finite(out, "packed predict reduction")
+            if out_values is not None:
+                assert_all_finite(out_values, "packed leaf-value matrix")
             return out
         # Split rows into chunk-aligned blocks; rows never interact, so the
         # result is identical to the single-threaded pass.
@@ -420,6 +435,10 @@ class PackedForest:
             ]
             for future in futures:
                 future.result()
+        if out is not None:
+            assert_all_finite(out, "packed predict reduction")
+        if out_values is not None:
+            assert_all_finite(out_values, "packed leaf-value matrix")
         return out
 
     def predict_raw(
@@ -435,15 +454,19 @@ class PackedForest:
         key = None
         if use_cache and PREDICTION_CACHE_SIZE > 0:
             key = (X.shape, hashlib.blake2b(X, digest_size=16).digest())
-            hit = self._cache.get(key)
+            with self._cache_lock:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._cache.move_to_end(key)
+                    hit = hit.copy()
             if hit is not None:
-                self._cache.move_to_end(key)
-                return hit.copy()
+                return hit
         out = self._evaluate(X, chunk=chunk, cshift=cshift, n_jobs=n_jobs)
         if key is not None:
-            self._cache[key] = out.copy()
-            while len(self._cache) > PREDICTION_CACHE_SIZE:
-                self._cache.popitem(last=False)
+            with self._cache_lock:
+                self._cache[key] = out.copy()
+                while len(self._cache) > PREDICTION_CACHE_SIZE:
+                    self._cache.popitem(last=False)
         return out
 
     def leaf_value_matrix(self, X: np.ndarray, n_jobs: int | None = None) -> np.ndarray:
@@ -463,7 +486,8 @@ class PackedForest:
 
     def clear_cache(self) -> None:
         """Drop all cached prediction results."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
 
 # ----------------------------------------------------------------------
@@ -476,7 +500,8 @@ def invalidate_packed(model) -> None:
     check in :func:`packed_for`; this hook just makes the common sites
     (fit, early-stopping truncation) explicit and cheap.
     """
-    model.__dict__.pop("_packed_state", None)
+    with _pack_lock:
+        model.__dict__.pop("_packed_state", None)
 
 
 def packed_for(model) -> PackedForest | None:
@@ -489,11 +514,16 @@ def packed_for(model) -> PackedForest | None:
     if not trees:
         return None
     fingerprint = _forest_fingerprint(trees, model.init_score_)
-    state = model.__dict__.get("_packed_state")
-    if state is not None and state[0] == fingerprint:
-        return state[1]
+    with _pack_lock:
+        state = model.__dict__.get("_packed_state")
+        if state is not None and state[0] == fingerprint:
+            return state[1]
+    # Pack outside the lock (it is the expensive part); a concurrent
+    # packer may race us, but both produce equivalent objects and the
+    # last write simply wins.
     packed = PackedForest.pack(trees, model.init_score_, int(model.n_features_))
-    model.__dict__["_packed_state"] = (fingerprint, packed)
+    with _pack_lock:
+        model.__dict__["_packed_state"] = (fingerprint, packed)
     return packed
 
 

@@ -20,6 +20,7 @@ from .grower import TreeGrowerParams, grow_tree
 from .losses import sigmoid
 from .packed import dispatch_predict_raw, invalidate_packed
 from .tree import Tree, accumulate_importance
+from .._rng import as_generator
 
 __all__ = ["RandomForestRegressor", "RandomForestClassifier"]
 
@@ -36,7 +37,7 @@ class _BaseRandomForest:
         max_features: float | str = "sqrt",
         bootstrap: bool = True,
         max_bins: int = 255,
-        random_state: int | None = None,
+        random_state: int | np.random.Generator | None = None,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -73,7 +74,7 @@ class _BaseRandomForest:
         if X.ndim != 2 or len(X) != len(y):
             raise ValueError("X must be 2-D and aligned with y")
 
-        rng = np.random.default_rng(self.random_state)
+        rng = as_generator(self.random_state)
         mapper = BinMapper(self.max_bins)
         binned = mapper.fit_transform(X)
         self.n_features_ = X.shape[1]

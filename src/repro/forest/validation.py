@@ -11,6 +11,7 @@ import itertools
 from dataclasses import dataclass
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = ["train_test_split", "kfold_indices", "cross_val_score", "GridSearch"]
 
@@ -19,7 +20,7 @@ def train_test_split(
     X: np.ndarray,
     y: np.ndarray,
     test_size: float = 0.2,
-    random_state: int | None = None,
+    random_state: int | np.random.Generator | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Random split of (X, y) into train and test partitions."""
     if not 0.0 < test_size < 1.0:
@@ -28,7 +29,7 @@ def train_test_split(
     y = np.asarray(y)
     if len(X) != len(y):
         raise ValueError("X and y have inconsistent lengths")
-    rng = np.random.default_rng(random_state)
+    rng = as_generator(random_state)
     n = len(X)
     perm = rng.permutation(n)
     n_test = max(1, int(round(test_size * n)))
@@ -37,14 +38,14 @@ def train_test_split(
 
 
 def kfold_indices(
-    n: int, n_splits: int = 5, random_state: int | None = None
+    n: int, n_splits: int = 5, random_state: int | np.random.Generator | None = None
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Shuffled k-fold (train_idx, valid_idx) pairs covering ``range(n)``."""
     if n_splits < 2:
         raise ValueError("n_splits must be >= 2")
     if n < n_splits:
         raise ValueError("need at least one sample per fold")
-    rng = np.random.default_rng(random_state)
+    rng = as_generator(random_state)
     perm = rng.permutation(n)
     folds = np.array_split(perm, n_splits)
     out = []
@@ -61,7 +62,7 @@ def cross_val_score(
     y: np.ndarray,
     score_fn,
     n_splits: int = 5,
-    random_state: int | None = None,
+    random_state: int | np.random.Generator | None = None,
 ) -> np.ndarray:
     """Per-fold scores of models built by ``model_factory()``.
 
@@ -108,7 +109,7 @@ class GridSearch:
         param_grid: dict,
         score_fn,
         n_splits: int = 5,
-        random_state: int | None = None,
+        random_state: int | np.random.Generator | None = None,
     ):
         self.model_class = model_class
         self.param_grid = param_grid

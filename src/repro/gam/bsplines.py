@@ -16,6 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.numerics import (
+    assert_all_finite,
+    assert_psd_diagonal,
+    assert_strictly_increasing,
+    numerics_guard,
+)
+
 __all__ = ["uniform_knots", "bspline_design", "difference_penalty"]
 
 
@@ -36,7 +43,9 @@ def uniform_knots(lo: float, hi: float, n_splines: int, degree: int = 3) -> np.n
         hi = lo + 1.0
     n_interior = n_splines - degree
     step = (hi - lo) / n_interior
-    return lo + step * np.arange(-degree, n_interior + degree + 1)
+    knots = lo + step * np.arange(-degree, n_interior + degree + 1)
+    assert_strictly_increasing(knots, "uniform_knots")
+    return knots
 
 
 def bspline_design(
@@ -70,19 +79,22 @@ def bspline_design(
     basis[np.arange(len(xc)), interval] = 1.0
 
     # Cox–de Boor elevation to the requested degree.
-    for d in range(1, degree + 1):
-        n_d = n0 - d
-        new = np.zeros((len(xc), n_d))
-        for i in range(n_d):
-            denom_l = knots[i + d] - knots[i]
-            denom_r = knots[i + d + 1] - knots[i + 1]
-            if denom_l > 0:
-                new[:, i] += (xc - knots[i]) / denom_l * basis[:, i]
-            if denom_r > 0:
-                new[:, i] += (knots[i + d + 1] - xc) / denom_r * basis[:, i + 1]
-        basis = new
+    with numerics_guard("bspline_design (Cox-de Boor recursion)"):
+        for d in range(1, degree + 1):
+            n_d = n0 - d
+            new = np.zeros((len(xc), n_d))
+            for i in range(n_d):
+                denom_l = knots[i + d] - knots[i]
+                denom_r = knots[i + d + 1] - knots[i + 1]
+                if denom_l > 0:
+                    new[:, i] += (xc - knots[i]) / denom_l * basis[:, i]
+                if denom_r > 0:
+                    new[:, i] += (knots[i + d + 1] - xc) / denom_r * basis[:, i + 1]
+            basis = new
 
-    return basis[:, :n_bases]
+    basis = basis[:, :n_bases]
+    assert_all_finite(basis, "bspline_design")
+    return basis
 
 
 def difference_penalty(n_coefs: int, order: int = 2) -> np.ndarray:
@@ -99,4 +111,6 @@ def difference_penalty(n_coefs: int, order: int = 2) -> np.ndarray:
     if n_coefs <= order:
         return np.zeros((n_coefs, n_coefs))
     d = np.diff(np.eye(n_coefs), n=order, axis=0)
-    return d.T @ d
+    penalty = d.T @ d
+    assert_psd_diagonal(penalty, "difference_penalty")
+    return penalty

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.numerics import assert_all_finite, numerics_guard
+
 __all__ = ["default_lam_grid", "gcv_gridsearch"]
 
 
@@ -37,14 +39,16 @@ def _identity_gcv_path(gam, X: np.ndarray, y: np.ndarray, lam_grid: np.ndarray):
         xty += d.T @ y[lo:hi]
 
     results = []
-    for lam in lam_grid:
-        S = gam.penalty_matrix(lam)
-        A = xtx + S
-        beta = np.linalg.solve(A, xty)
-        rss = max(yty - 2.0 * beta @ xty + beta @ xtx @ beta, 0.0)
-        edof = float(np.trace(np.linalg.solve(A, xtx)))
-        gcv = n * rss / max(n - edof, 1e-8) ** 2
-        results.append((float(lam), gcv, beta, rss, edof))
+    with numerics_guard("GCV scoring (identity path)"):
+        for lam in lam_grid:
+            S = gam.penalty_matrix(lam)
+            A = xtx + S
+            beta = np.linalg.solve(A, xty)
+            rss = max(yty - 2.0 * beta @ xty + beta @ xtx @ beta, 0.0)
+            edof = float(np.trace(np.linalg.solve(A, xtx)))
+            gcv = n * rss / max(n - edof, 1e-8) ** 2
+            assert_all_finite(np.asarray([gcv]), f"GCV score (lam={lam:g})")
+            results.append((float(lam), gcv, beta, rss, edof))
     return results, xtx
 
 
@@ -84,6 +88,7 @@ def gcv_gridsearch(gam, X, y, lam_grid=None, verbose: bool = False):
             gam.lam = float(lam)
             gam.fit(X, y)
             gcv = gam.statistics_["GCV"]
+            assert_all_finite(np.asarray([gcv]), f"GCV score (lam={lam:g})")
             lam_path.append((float(lam), gcv))
             if verbose:
                 print(f"  lam={lam:10.4g}  GCV={gcv:.6g}")

@@ -21,6 +21,11 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import ndtri
 
+from ..core.numerics import (
+    assert_all_finite,
+    assert_psd_diagonal,
+    numerics_guard,
+)
 from .distributions import get_distribution
 from .links import get_link
 from .terms import InterceptTerm, Term
@@ -144,6 +149,7 @@ class GAM:
         for term, sl, lam_t in zip(self.terms, self._term_slices(), lam_terms):
             S[sl, sl] = lam_t * term.penalty()
         S[np.diag_indices(p)] += self.ridge
+        assert_psd_diagonal(S, "GAM.penalty_matrix")
         return S
 
     # ------------------------------------------------------------------
@@ -180,32 +186,34 @@ class GAM:
             self.link.name == "identity" and self.distribution.name == "normal"
         )
 
-        for iteration in range(self.max_iter):
-            mu = self.link.inverse(eta)
-            g_prime = self.link.derivative(mu)
-            w = 1.0 / (g_prime**2 * self.distribution.variance(mu))
-            z = eta + (y - mu) * g_prime
+        with numerics_guard("PIRLS solve"):
+            for iteration in range(self.max_iter):
+                mu = self.link.inverse(eta)
+                g_prime = self.link.derivative(mu)
+                w = 1.0 / (g_prime**2 * self.distribution.variance(mu))
+                z = eta + (y - mu) * g_prime
 
-            xtwx[:] = 0.0
-            xtwz = np.zeros(p)
-            for lo, hi in self._chunks(n):
-                d = self._design_chunk(X[lo:hi])
-                dw = d * w[lo:hi, None]
-                xtwx += dw.T @ d
-                xtwz += dw.T @ z[lo:hi]
+                xtwx[:] = 0.0
+                xtwz = np.zeros(p)
+                for lo, hi in self._chunks(n):
+                    d = self._design_chunk(X[lo:hi])
+                    dw = d * w[lo:hi, None]
+                    xtwx += dw.T @ d
+                    xtwz += dw.T @ z[lo:hi]
 
-            beta = np.linalg.solve(xtwx + S, xtwz)
+                beta = np.linalg.solve(xtwx + S, xtwz)
 
-            eta = self._predict_eta_fitted(X, beta)
-            mu = self.link.inverse(eta)
-            deviance = self.distribution.deviance(y, mu)
-            if identity_normal or abs(deviance_prev - deviance) < self.tol * (
-                abs(deviance) + self.tol
-            ):
+                eta = self._predict_eta_fitted(X, beta)
+                mu = self.link.inverse(eta)
+                deviance = self.distribution.deviance(y, mu)
+                if identity_normal or abs(deviance_prev - deviance) < self.tol * (
+                    abs(deviance) + self.tol
+                ):
+                    deviance_prev = deviance
+                    break
                 deviance_prev = deviance
-                break
-            deviance_prev = deviance
 
+        assert_all_finite(beta, "PIRLS coefficients")
         self.coef_ = beta
         self._finalize_statistics(xtwx, S, deviance_prev, n)
         return self
@@ -221,6 +229,7 @@ class GAM:
             scale = deviance / max(n - edof, 1.0)
         denom = max(n - edof, 1e-8)
         gcv = n * deviance / denom**2
+        assert_all_finite(np.asarray([edof, scale, gcv]), "GAM statistics")
         vb = np.linalg.inv(xtwx + S) * scale
         self.statistics_ = {
             "edof": edof,

@@ -40,6 +40,6 @@ def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     y_true, y_pred = _validate(y_true, y_pred)
     sse = float(np.sum((y_true - y_pred) ** 2))
     sst = float(np.sum((y_true - np.mean(y_true)) ** 2))
-    if sst == 0.0:
-        return 1.0 if sse == 0.0 else -np.inf
+    if sst == 0.0:  # repro: allow(float-eq) exact degenerate-SST sentinel; test_r2_constant_target
+        return 1.0 if sse == 0.0 else -np.inf  # repro: allow(float-eq) exact perfect-fit sentinel; test_r2_constant_target
     return 1.0 - sse / sst

@@ -41,7 +41,7 @@ def welch_ttest(a: np.ndarray, b: np.ndarray) -> WelchResult:
     va = np.var(a, ddof=1) / len(a)
     vb = np.var(b, ddof=1) / len(b)
     denom = np.sqrt(va + vb)
-    if denom == 0.0:
+    if denom == 0.0:  # repro: allow(float-eq) exact zero-variance sentinel; test_welch_identical_constant_samples
         # Identical constant samples: no evidence of any difference.
         return WelchResult(0.0, float(len(a) + len(b) - 2), 1.0)
     t = (np.mean(a) - np.mean(b)) / denom
@@ -65,7 +65,7 @@ def gaussian_kde_1d(
         raise ValueError("samples is empty")
     if bandwidth is None:
         std = float(np.std(samples))
-        if std == 0.0:
+        if std == 0.0:  # repro: allow(float-eq) exact degenerate-sample sentinel; test_kde_constant_samples
             std = 1.0
         bandwidth = std * samples.size ** (-1.0 / 5.0)
     if bandwidth <= 0:

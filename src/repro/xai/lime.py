@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = ["LimeTabularExplainer", "LimeExplanation"]
 
@@ -57,7 +58,7 @@ class LimeTabularExplainer:
         training_data: np.ndarray,
         kernel_width: float | None = None,
         ridge_alpha: float = 1.0,
-        random_state: int | None = None,
+        random_state: int | np.random.Generator | None = None,
     ):
         training_data = np.atleast_2d(np.asarray(training_data, dtype=np.float64))
         if training_data.shape[0] < 2:
@@ -93,7 +94,7 @@ class LimeTabularExplainer:
             )
         if num_samples < 10:
             raise ValueError("num_samples must be >= 10")
-        rng = np.random.default_rng(self.random_state)
+        rng = as_generator(self.random_state)
 
         # Gaussian perturbations in standardized space, then de-standardize
         # around the instance (LIME's sample_around_instance mode).
@@ -149,6 +150,6 @@ class LimeTabularExplainer:
         y_bar = float((w * y).sum() / w.sum())
         sse = float((w * (y - y_hat) ** 2).sum())
         sst = float((w * (y - y_bar) ** 2).sum())
-        if sst == 0.0:
-            return 1.0 if sse == 0.0 else 0.0
+        if sst == 0.0:  # repro: allow(float-eq) exact degenerate-SST sentinel; test_weighted_r2_constant_target
+            return 1.0 if sse == 0.0 else 0.0  # repro: allow(float-eq) exact perfect-fit sentinel; test_weighted_r2_constant_target
         return 1.0 - sse / sst

@@ -10,6 +10,7 @@ model.
 from __future__ import annotations
 
 import numpy as np
+from .._rng import as_generator
 
 __all__ = ["permutation_importance"]
 
@@ -20,7 +21,7 @@ def permutation_importance(
     y: np.ndarray,
     score_fn,
     n_repeats: int = 5,
-    random_state: int | None = None,
+    random_state: int | np.random.Generator | None = None,
 ) -> np.ndarray:
     """Mean score drop per feature over ``n_repeats`` shuffles.
 
@@ -46,7 +47,7 @@ def permutation_importance(
         raise ValueError("X and y have inconsistent lengths")
     if n_repeats < 1:
         raise ValueError("n_repeats must be >= 1")
-    rng = np.random.default_rng(random_state)
+    rng = as_generator(random_state)
 
     baseline = float(score_fn(y, predict_fn(X)))
     importances = np.zeros(X.shape[1])

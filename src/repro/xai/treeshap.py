@@ -65,7 +65,7 @@ def _unwind(m: _Path, depth: int, index: int) -> None:
     zero = m.z[index]
     next_one = m.w[depth]
     for i in range(depth - 1, -1, -1):
-        if one != 0.0:
+        if one != 0.0:  # repro: allow(float-eq) reference TreeSHAP's exact zero-weight branch; test_zero_cover_branch
             tmp = m.w[i]
             m.w[i] = next_one * (depth + 1) / ((i + 1) * one)
             next_one = tmp - m.w[i] * zero * (depth - i) / (depth + 1)
@@ -82,7 +82,7 @@ def _unwound_sum(m: _Path, depth: int, index: int) -> float:
     one = m.o[index]
     zero = m.z[index]
     total = 0.0
-    if one != 0.0:
+    if one != 0.0:  # repro: allow(float-eq) reference TreeSHAP's exact zero-weight branch; test_zero_cover_branch
         next_one = m.w[depth]
         for i in range(depth - 1, -1, -1):
             tmp = next_one / ((i + 1) * one)
@@ -115,7 +115,7 @@ def _recurse(
     fixed *present*, ``-1`` with it fixed *absent*.  The conditioned
     variants power the SHAP interaction values.
     """
-    if condition_fraction == 0.0:
+    if condition_fraction == 0.0:  # repro: allow(float-eq) exact dead-path prune, mirrors reference; test_conditioned_zero_fraction
         return
     # Copy depth+1 entries: when the conditioned feature's extension is
     # skipped, slot `depth` must carry the parent's (still valid) element.

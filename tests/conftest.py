@@ -8,8 +8,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.numerics import set_numerics_mode
 from repro.datasets import make_d_double_prime, make_d_prime
 from repro.forest import GradientBoostingClassifier, GradientBoostingRegressor
+
+# The whole suite runs with the numerics sanitizer armed: non-finite
+# values or broken post-conditions inside the hot kernels fail loudly
+# instead of surfacing as mysteriously bad fidelity numbers.
+set_numerics_mode("strict")
 
 
 @pytest.fixture(scope="session")

@@ -75,7 +75,7 @@ class TestMinimalShift:
         result = minimal_shift(explanation, np.full(5, 0.5), delta=100.0)
         assert result is None
 
-    def test_zero_delta_rejected(self, explanation):
+    def test_minimal_shift_rejects_zero_delta(self, explanation):
         with pytest.raises(ValueError):
             minimal_shift(explanation, np.full(5, 0.5), delta=0.0)
 

@@ -1,0 +1,112 @@
+"""``repro check`` end-to-end: exit codes, baseline workflow, and the
+tier-1 gate asserting the repo's own ``src/`` lints clean."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.devtools import load_baseline, run_check
+from repro.devtools.check import BASELINE_NAME, find_project_root, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = "def f(items=[]):\n    return items\n"
+CLEAN = '__all__ = ["f"]\n\n\ndef f(items=None):\n    "Return items."\n    return items\n'
+
+
+def seed_project(tmp_path, source):
+    """A throwaway project root: pyproject.toml + one source file."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    target = tmp_path / "src" / "mod.py"
+    target.parent.mkdir()
+    target.write_text(source)
+    return target
+
+
+class TestExitCodes:
+    def test_violation_exits_nonzero(self, tmp_path):
+        target = seed_project(tmp_path, DIRTY)
+        out = io.StringIO()
+        assert run_check([target], stream=out) == 1
+        assert "mutable-default" in out.getvalue()
+
+    def test_clean_exits_zero(self, tmp_path):
+        target = seed_project(tmp_path, CLEAN)
+        out = io.StringIO()
+        assert run_check([target], stream=out) == 0
+        assert out.getvalue().startswith("clean:")
+
+    def test_baselined_violation_exits_zero(self, tmp_path):
+        target = seed_project(tmp_path, DIRTY)
+        out = io.StringIO()
+        run_check([target], update_baseline=True, stream=out)
+        out = io.StringIO()
+        assert run_check([target], stream=out) == 0
+        assert "baselined" in out.getvalue()
+
+    def test_stranded_entry_fails_until_updated(self, tmp_path):
+        target = seed_project(tmp_path, DIRTY)
+        run_check([target], update_baseline=True, stream=io.StringIO())
+        target.write_text(CLEAN)  # fix the finding; entry strands
+        assert run_check([target], stream=io.StringIO()) == 1
+        assert run_check(
+            [target], update_baseline=True, stream=io.StringIO()
+        ) == 0
+        assert load_baseline(tmp_path / BASELINE_NAME) == []
+        assert run_check([target], stream=io.StringIO()) == 0
+
+    def test_json_format(self, tmp_path):
+        target = seed_project(tmp_path, DIRTY)
+        out = io.StringIO()
+        assert run_check([target], output_format="json", stream=out) == 1
+        doc = json.loads(out.getvalue())
+        assert doc["version"] == 1
+        assert doc["counts"]["error"] == 1
+        assert "mutable-default" in {f["rule_id"] for f in doc["findings"]}
+
+
+class TestCliWiring:
+    def test_console_script_main(self, tmp_path, capsys):
+        target = seed_project(tmp_path, DIRTY)
+        assert main([str(target)]) == 1
+        assert "mutable-default" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "rng-global-state" in out
+        assert "float-eq" in out
+
+    def test_repro_cli_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        target = seed_project(tmp_path, CLEAN)
+        assert cli_main(["check", str(target)]) == 0
+
+    def test_find_project_root(self, tmp_path):
+        target = seed_project(tmp_path, CLEAN)
+        assert find_project_root(target) == tmp_path
+
+
+class TestRepoGate:
+    """The tier-1 gate: the repo's own src/ is clean vs the baseline."""
+
+    def test_src_lints_clean_against_committed_baseline(self):
+        out = io.StringIO()
+        code = run_check(
+            [REPO_ROOT / "src"],
+            baseline=REPO_ROOT / BASELINE_NAME,
+            stream=out,
+        )
+        assert code == 0, f"repro check found new lint findings:\n{out.getvalue()}"
+
+    def test_baseline_has_no_thread_safety_or_mutable_default_entries(self):
+        entries = load_baseline(REPO_ROOT / BASELINE_NAME)
+        banned = {"global-state", "mutable-default"}
+        offending = [e for e in entries if e["rule_id"] in banned]
+        assert offending == [], (
+            "thread-safety and mutable-default findings must be fixed or "
+            f"waived inline, never baselined: {offending}"
+        )

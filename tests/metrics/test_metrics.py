@@ -39,7 +39,7 @@ class TestRegressionMetrics:
         y = np.array([1.0, 2.0, 3.0])
         assert r2_score(y, np.array([10.0, -10.0, 10.0])) < 0
 
-    def test_constant_target(self):
+    def test_r2_constant_target(self):
         assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
         assert r2_score([2.0, 2.0], [3.0, 3.0]) == -np.inf
 
@@ -141,7 +141,7 @@ class TestWelch:
         assert ours.statistic == pytest.approx(ref.statistic)
         assert ours.p_value == pytest.approx(ref.pvalue)
 
-    def test_constant_samples(self):
+    def test_welch_identical_constant_samples(self):
         result = welch_ttest(np.ones(5), np.ones(5))
         assert result.p_value == 1.0
 
@@ -172,6 +172,16 @@ class TestKde:
         wide = gaussian_kde_1d(samples, grid, bandwidth=10.0)
         narrow = gaussian_kde_1d(samples, grid, bandwidth=0.01)
         assert wide[0] < narrow[0] or narrow[0] == pytest.approx(0, abs=1e-6)
+
+    def test_kde_constant_samples(self):
+        """Constant samples (zero std) fall back to unit bandwidth instead
+        of dividing by zero — the exact-zero sentinel waived in
+        ``gaussian_kde_1d`` (``# repro: allow(float-eq)``)."""
+        samples = np.full(50, 3.0)
+        grid = np.linspace(0.0, 6.0, 101)
+        dens = gaussian_kde_1d(samples, grid)
+        assert np.all(np.isfinite(dens))
+        assert grid[np.argmax(dens)] == pytest.approx(3.0)
 
     def test_validation(self):
         with pytest.raises(ValueError):

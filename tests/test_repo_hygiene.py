@@ -35,13 +35,9 @@ class TestPublicApi:
         exports = getattr(module, "__all__", [])
         assert len(exports) == len(set(exports)), f"duplicates in {package}.__all__"
 
-    @pytest.mark.parametrize("package", PACKAGES)
-    def test_public_symbols_have_docstrings(self, package):
-        module = importlib.import_module(package)
-        for name in getattr(module, "__all__", []):
-            obj = getattr(module, name)
-            if callable(obj) or isinstance(obj, type):
-                assert obj.__doc__, f"{package}.{name} lacks a docstring"
+    # Docstring coverage of exported symbols is now enforced statically
+    # (with exact file:line findings) by the ``undocumented-public`` rule
+    # of ``repro check`` — see tests/devtools/test_check_gate.py.
 
 
 class TestExamples:

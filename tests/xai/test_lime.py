@@ -100,3 +100,18 @@ class TestDeterminismAndValidation:
         )
         explainer = LimeTabularExplainer(data)
         assert explainer.scales_[1] == 1.0  # no division by zero
+
+
+class TestWeightedR2Sentinel:
+    """Pinned behavior of the exact degenerate-SST comparison waived in
+    ``LimeTabularExplainer._weighted_r2`` (``# repro: allow(float-eq)``)."""
+
+    def test_weighted_r2_constant_target(self):
+        w = np.ones(4)
+        y = np.full(4, 2.0)
+        # Perfect fit of a constant target scores 1, any miss scores 0 —
+        # never a 0/0 NaN.
+        assert LimeTabularExplainer._weighted_r2(y, y.copy(), w) == 1.0
+        assert LimeTabularExplainer._weighted_r2(y, y + 0.5, w) == 0.0
+        varied = np.array([1.0, 2.0, 3.0, 4.0])
+        assert LimeTabularExplainer._weighted_r2(varied, varied.copy(), w) == 1.0

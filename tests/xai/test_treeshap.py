@@ -173,3 +173,64 @@ class TestValidation:
         tree = make_stump(left_value=-1.0, right_value=1.0)
         # 6 of 10 samples go left.
         assert expected_tree_value(tree) == pytest.approx(-0.2)
+
+
+def make_repeated_feature_tree():
+    """x0 splits the root AND the left-left subtree: descending the cold
+    side of the root carries a zero one-fraction for x0 down the path, so
+    re-encountering x0 exercises the exact ``one == 0.0`` unwind branch."""
+    from repro.forest.tree import LEAF, Tree
+
+    return Tree(
+        feature=np.array([0, 1, LEAF, 0, LEAF, LEAF, LEAF], dtype=np.int32),
+        threshold=np.array([0.5, 0.5, 0.0, 0.25, 0.0, 0.0, 0.0]),
+        left=np.array([1, 3, -1, 5, -1, -1, -1], dtype=np.int32),
+        right=np.array([2, 4, -1, 6, -1, -1, -1], dtype=np.int32),
+        value=np.array([0.0, 0.0, 5.0, 0.0, 1.0, 2.0, 3.0]),
+        gain=np.array([4.0, 2.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
+        n_samples=np.array([16, 10, 6, 7, 3, 4, 3], dtype=np.int64),
+    )
+
+
+class TestFloatSentinelRegressions:
+    """Pinned behavior of the exact float comparisons waived in
+    ``src/repro/xai/treeshap.py`` (``# repro: allow(float-eq)``)."""
+
+    @pytest.mark.parametrize(
+        "x",
+        [
+            np.array([0.1, 0.1]),
+            np.array([0.1, 0.9]),
+            np.array([0.4, 0.1]),
+            np.array([0.9, 0.9]),
+        ],
+    )
+    def test_zero_cover_branch(self, x):
+        """The zero one-fraction unwind branch still yields exact Shapley
+        values (matches the brute-force conditional-expectation game)."""
+        tree = make_repeated_feature_tree()
+        phi = tree_shap_values(tree, x, 2)
+        expected = brute_force_shap(tree, x, 2)
+        np.testing.assert_allclose(phi, expected, atol=1e-12)
+        total = phi.sum() + expected_tree_value(tree)
+        np.testing.assert_allclose(
+            total, conditional_expectation(tree, x, {0, 1}), atol=1e-12
+        )
+
+    def test_conditioned_zero_fraction(self):
+        """The ``condition_fraction == 0.0`` dead-path prune keeps the
+        interaction matrix consistent: symmetric, rows summing to the
+        SHAP values, total equal to f(x) - E[f]."""
+        from repro.xai import tree_shap_interaction_values
+
+        tree = make_repeated_feature_tree()
+        x = np.array([0.3, 0.2])
+        inter = tree_shap_interaction_values(tree, x, 2)
+        phi = tree_shap_values(tree, x, 2)
+        np.testing.assert_allclose(inter, inter.T, atol=1e-12)
+        np.testing.assert_allclose(inter.sum(axis=1), phi, atol=1e-12)
+        np.testing.assert_allclose(
+            inter.sum(),
+            conditional_expectation(tree, x, {0, 1}) - expected_tree_value(tree),
+            atol=1e-12,
+        )

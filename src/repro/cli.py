@@ -101,8 +101,15 @@ def _cmd_explain(args) -> int:
         k_points=args.k,
         n_samples=args.samples,
         random_state=args.seed,
+        strict=args.strict,
     )
     explanation = gef.explain(forest, verbose=args.verbose)
+    if explanation.stage_report is not None and explanation.stage_report.degraded:
+        print(
+            f"warning: degraded explanation "
+            f"({explanation.stage_report.summary()})",
+            file=sys.stderr,
+        )
     instance = None
     if args.instance:
         instance = np.asarray(
@@ -192,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--save", default=None,
                          help="archive the fitted explanation to this JSON path")
     explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--strict", action="store_true",
+                         help="fail fast: disable retries and the fit "
+                              "degradation ladder")
     explain.add_argument("--verbose", action="store_true")
     explain.set_defaults(func=_cmd_explain)
 
@@ -215,10 +225,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Pipeline failures surface as a one-line ``error [<stage>]`` message
+    on stderr and exit code 1 — never as a traceback.
+    """
+    from .core.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        stage = getattr(exc, "stage", None) or "pipeline"
+        print(f"error [{stage}]: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

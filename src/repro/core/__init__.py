@@ -9,6 +9,15 @@ from .config import (
     set_prediction_engine,
 )
 from .dataset import ExplanationDataset, generate_dataset, sample_instances
+from .errors import (
+    FitDivergenceError,
+    ForestValidationError,
+    ReproError,
+    SamplingError,
+    SelectionError,
+    StageFailureError,
+    StageTimeoutError,
+)
 from .explainer import GEF
 from .explanation_io import (
     explanation_from_dict,
@@ -28,7 +37,13 @@ from .feature_selection import (
     forest_split_counts,
     select_univariate,
 )
-from .gam_builder import build_gam, build_terms, is_categorical
+from .gam_builder import (
+    DEGRADATION_LADDER,
+    build_degraded_gam,
+    build_gam,
+    build_terms,
+    is_categorical,
+)
 from .report import explanation_report
 from .robustness import (
     FeatureSensitivity,
@@ -56,14 +71,35 @@ from .sampling import (
     k_means_domain,
     k_quantile_domain,
 )
+from .stages import (
+    StageAttempt,
+    StageRecord,
+    StageReport,
+    clear_stage_hooks,
+    get_stage_hook,
+    set_stage_hook,
+)
+from .validate import ForestValidationReport, validate_domains, validate_forest
 
 __all__ = [
     "ComponentCurve",
     "ComponentSweep",
     "ConsistencyReport",
+    "DEGRADATION_LADDER",
     "FeatureSensitivity",
+    "FitDivergenceError",
+    "ForestValidationError",
+    "ForestValidationReport",
     "MinimalShift",
+    "ReproError",
+    "SamplingError",
+    "SelectionError",
     "StabilityReport",
+    "StageAttempt",
+    "StageFailureError",
+    "StageRecord",
+    "StageReport",
+    "StageTimeoutError",
     "minimal_shift",
     "sensitivity_profile",
     "stability_analysis",
@@ -79,11 +115,13 @@ __all__ = [
     "LocalExplanation",
     "SAMPLING_STRATEGY_NAMES",
     "all_thresholds_domain",
+    "build_degraded_gam",
     "build_domain",
     "build_gam",
     "build_sampling_domains",
     "build_terms",
     "candidate_pairs",
+    "clear_stage_hooks",
     "count_path_scores",
     "equi_size_domain",
     "equi_width_domain",
@@ -97,8 +135,10 @@ __all__ = [
     "gain_path_scores",
     "generate_dataset",
     "get_prediction_engine",
+    "get_stage_hook",
     "h_stat_scores",
     "set_prediction_engine",
+    "set_stage_hook",
     "is_categorical",
     "k_means_domain",
     "k_quantile_domain",
@@ -107,4 +147,6 @@ __all__ = [
     "sample_instances",
     "select_interactions",
     "select_univariate",
+    "validate_domains",
+    "validate_forest",
 ]

@@ -104,6 +104,27 @@ class GEFConfig:
     random_state:
         Seed (or an ``np.random.Generator`` to stream caller-owned
         randomness) for domain construction and D* sampling.
+    strict:
+        Fail fast: disable the degradation ladder, the reseeding retries
+        and the interaction fallback — the first stage failure raises its
+        typed :class:`~repro.core.errors.ReproError` immediately.
+    validate_inputs:
+        Run :func:`~repro.core.validate.validate_forest` (and domain
+        sanity checks) before any pipeline work.  On by default; the cost
+        is one vectorized O(nodes) pass.
+    max_retries:
+        Recoverable-failure retries per stage (reseeded resampling on a
+        degenerate D*, lambda-grid escalation / ridge bump on a divergent
+        fit) before the stage degrades or fails.
+    retry_backoff:
+        Base seconds of the exponential retry backoff
+        (``backoff * 2**(attempt-1)``); 0 (the default) retries
+        immediately, keeping test runs deterministic and fast.
+    stage_timeout:
+        Per-stage wall-clock budget in seconds — a scalar applying to
+        every stage, a ``{stage_name: seconds}`` mapping, or ``None``
+        (no budgets).  A stage exceeding its budget raises
+        :class:`~repro.core.errors.StageTimeoutError`.
     """
 
     n_univariate: int | None = None
@@ -122,6 +143,11 @@ class GEFConfig:
     hstat_sample: int = 100
     label: str = "auto"
     random_state: int | np.random.Generator | None = 0
+    strict: bool = False
+    validate_inputs: bool = True
+    max_retries: int = 2
+    retry_backoff: float = 0.0
+    stage_timeout: float | dict[str, float] | None = None
 
     def __post_init__(self):
         if self.sampling_strategy not in SAMPLING_STRATEGY_NAMES:
@@ -150,3 +176,15 @@ class GEFConfig:
             raise ValueError("label must be 'auto', 'raw' or 'probability'")
         if self.component_type not in ("spline", "linear"):
             raise ValueError("component_type must be 'spline' or 'linear'")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.stage_timeout is not None:
+            budgets = (
+                self.stage_timeout.values()
+                if isinstance(self.stage_timeout, dict)
+                else (self.stage_timeout,)
+            )
+            if any(b is not None and b <= 0 for b in budgets):
+                raise ValueError("stage_timeout budgets must be positive")

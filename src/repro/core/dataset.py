@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 from .._rng import as_generator
+from .errors import SamplingError
 
 __all__ = ["ExplanationDataset", "sample_instances", "generate_dataset"]
 
@@ -46,11 +47,11 @@ def sample_instances(
     forest's output is invariant to them by construction.
     """
     if n_samples < 1:
-        raise ValueError("n_samples must be >= 1")
+        raise SamplingError("n_samples must be >= 1")
     X = np.zeros((n_samples, n_features))
     for feature, domain in domains.items():
         if not 0 <= feature < n_features:
-            raise ValueError(f"domain feature {feature} out of range")
+            raise SamplingError(f"domain feature {feature} out of range")
         X[:, feature] = rng.choice(domain, size=n_samples, replace=True)
     return X
 
@@ -61,7 +62,7 @@ def _label_with_forest(forest, X: np.ndarray, label: str) -> np.ndarray:
         label = "probability" if is_classifier else "raw"
     if label == "probability":
         if not is_classifier:
-            raise ValueError("'probability' labels require a classifier forest")
+            raise SamplingError("'probability' labels require a classifier forest")
         return np.asarray(forest.predict_proba(X), dtype=np.float64)
     return np.asarray(forest.predict_raw(X), dtype=np.float64)
 
@@ -76,13 +77,13 @@ def generate_dataset(
 ) -> ExplanationDataset:
     """Build D*: sample instances, label with the forest, split train/test."""
     if not 0.0 < test_fraction < 1.0:
-        raise ValueError("test_fraction must be in (0, 1)")
+        raise SamplingError("test_fraction must be in (0, 1)")
     rng = as_generator(random_state)
     X = sample_instances(domains, n_samples, int(forest.n_features_), rng)
     y = _label_with_forest(forest, X, label)
     n_test = max(1, int(round(test_fraction * n_samples)))
     if n_test >= n_samples:
-        raise ValueError("test_fraction leaves no training data")
+        raise SamplingError("test_fraction leaves no training data")
     return ExplanationDataset(
         X_train=X[n_test:],
         y_train=y[n_test:],

@@ -1,0 +1,95 @@
+"""Structured exception taxonomy of the GEF pipeline.
+
+GEF operates *data-free* on an arbitrary trained forest, so the pipeline
+boundary must assume hostile inputs: forests with non-finite thresholds,
+degenerate sampling domains, rank-deficient GAM designs.  Every failure a
+pipeline stage can produce is typed here, rooted at :class:`ReproError`,
+so callers (the CLI, a serving worker) can catch one base class and react
+per failure family instead of fishing tracebacks out of ``ValueError``.
+
+Taxonomy::
+
+    ReproError
+    ├── ForestValidationError   broken forest structure (also a ValueError)
+    ├── SamplingError           domain construction / D* generation failed
+    ├── SelectionError          F' or F'' selection failed (also a ValueError)
+    ├── FitDivergenceError      PIRLS/GCV diverged or went singular
+    ├── StageTimeoutError       a stage exceeded its wall-clock budget
+    └── StageFailureError       untyped crash wrapped at a stage boundary
+
+Errors that replace historical ``ValueError``s keep ``ValueError`` as a
+secondary base, so ``except ValueError`` call sites (and tests) written
+against the old boundary keep working.  Every error carries a ``stage``
+attribute naming the pipeline stage that raised it (filled in by the
+stage runner when the raising code did not).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ForestValidationError",
+    "SamplingError",
+    "SelectionError",
+    "FitDivergenceError",
+    "StageTimeoutError",
+    "StageFailureError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed GEF pipeline error.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    stage:
+        Name of the pipeline stage the error belongs to (``"validate"``,
+        ``"select"``, ``"domains"``, ``"sample"``, ``"interactions"``,
+        ``"fit"``); the stage runner fills it in when omitted.
+    """
+
+    def __init__(self, message: str = "", stage: str | None = None):
+        super().__init__(message)
+        self.stage = stage
+
+
+class ForestValidationError(ReproError, ValueError):
+    """The forest structure violates the GEF input contract.
+
+    Raised by :func:`repro.core.validate.validate_forest` for out-of-range
+    child/feature indices, orphan or cyclic nodes, and non-finite
+    thresholds, gains or leaf values.
+    """
+
+
+class SamplingError(ReproError, ValueError):
+    """Sampling-domain construction or D* generation failed.
+
+    Covers empty threshold lists, invalid domain budgets, and degenerate
+    synthetic datasets (constant labels, constant selected features) that
+    survived the per-attempt reseeding retries.
+    """
+
+
+class SelectionError(ReproError, ValueError):
+    """Univariate (F') or interaction (F'') selection failed."""
+
+
+class FitDivergenceError(ReproError):
+    """The GAM fit diverged or hit a singular/ill-conditioned solve.
+
+    Raised when PIRLS or the GCV path meets a singular system or a
+    numerics fault, after the recoverable in-stage retries (lambda-grid
+    escalation, ridge bump) and — unless ``strict`` — the degradation
+    ladder have all been exhausted.
+    """
+
+
+class StageTimeoutError(ReproError):
+    """A pipeline stage exceeded its wall-clock budget."""
+
+
+class StageFailureError(ReproError):
+    """An untyped exception crossed a stage boundary (wrapped verbatim)."""

@@ -21,6 +21,7 @@ import numpy as np
 from ..gam import GAM, FactorTerm, InterceptTerm, SplineTerm, TensorTerm
 from .config import GEFConfig
 from .dataset import ExplanationDataset
+from .stages import StageReport
 
 __all__ = ["ComponentCurve", "LocalContribution", "LocalExplanation", "GEFExplanation"]
 
@@ -75,6 +76,7 @@ class GEFExplanation:
     config: GEFConfig
     feature_names: list[str] | None = None
     fidelity: dict = field(default_factory=dict)
+    stage_report: StageReport | None = None
     _importances: dict[int, float] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -236,4 +238,8 @@ class GEFExplanation:
         )
         for key, value in self.fidelity.items():
             lines.append(f"  fidelity {key}: {value:.4f}")
+        if self.stage_report is not None and self.stage_report.fallbacks:
+            lines.append(
+                "  degraded: " + ", ".join(self.stage_report.fallbacks)
+            )
         return "\n".join(lines)

@@ -20,6 +20,7 @@ from ..gam.serialization import gam_from_dict, gam_to_dict
 from .config import GEFConfig
 from .dataset import ExplanationDataset
 from .explanation import GEFExplanation
+from .stages import StageReport
 
 __all__ = ["explanation_to_dict", "explanation_from_dict",
            "save_explanation", "load_explanation"]
@@ -41,6 +42,11 @@ def explanation_to_dict(explanation: GEFExplanation) -> dict:
         "pairs": [list(map(int, p)) for p in explanation.pairs],
         "feature_names": explanation.feature_names,
         "fidelity": dict(explanation.fidelity),
+        "stage_report": (
+            explanation.stage_report.to_dict()
+            if explanation.stage_report is not None
+            else None
+        ),
         "config": config,
         "domains": {
             str(f): d.tolist() for f, d in dataset.domains.items()
@@ -75,6 +81,11 @@ def explanation_from_dict(data: dict) -> GEFExplanation:
         config=GEFConfig(**config_data),
         feature_names=data["feature_names"],
         fidelity=dict(data["fidelity"]),
+        stage_report=(
+            StageReport.from_dict(data["stage_report"])
+            if data.get("stage_report") is not None
+            else None
+        ),
     )
 
 

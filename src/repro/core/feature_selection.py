@@ -8,7 +8,11 @@ that ranking, its size chosen by the analyst.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+
+from .errors import ForestValidationError, SelectionError
 
 __all__ = [
     "forest_feature_gains",
@@ -20,9 +24,9 @@ __all__ = [
 
 def _check_forest(forest) -> None:
     if not getattr(forest, "trees_", None):
-        raise ValueError("forest is not fitted (empty trees_)")
+        raise ForestValidationError("forest is not fitted (empty trees_)")
     if getattr(forest, "n_features_", None) is None:
-        raise ValueError("forest does not report n_features_")
+        raise ForestValidationError("forest does not report n_features_")
 
 
 def forest_feature_gains(forest) -> np.ndarray:
@@ -55,21 +59,30 @@ def select_univariate(
     ``importance`` is ``"gain"`` (the paper's accumulated loss reduction)
     or ``"split"`` (split counts, for gain-less forest dumps).  Only
     features actually used by the forest qualify; ``n_features=None``
-    keeps all of them (the naive strategy F).
+    keeps all of them (the naive strategy F).  Asking for more features
+    than have positive accumulated importance clamps to the available
+    count (with a warning) rather than failing.
     """
     if importance == "gain":
         gains = forest_feature_gains(forest)
     elif importance == "split":
         gains = forest_split_counts(forest)
     else:
-        raise ValueError("importance must be 'gain' or 'split'")
+        raise SelectionError("importance must be 'gain' or 'split'")
     used = np.nonzero(gains > 0.0)[0]
     if used.size == 0:
-        raise ValueError("the forest contains no splits; nothing to explain")
+        raise SelectionError("the forest contains no splits; nothing to explain")
     ranked = used[np.argsort(-gains[used], kind="stable")]
     if n_features is not None:
         if n_features < 1:
-            raise ValueError("n_features must be >= 1")
+            raise SelectionError("n_features must be >= 1")
+        if n_features > used.size:
+            warnings.warn(
+                f"requested {n_features} univariate components but only "
+                f"{used.size} features have positive {importance} "
+                f"importance; clamping |F'| to {used.size}",
+                stacklevel=2,
+            )
         ranked = ranked[:n_features]
     return [int(f) for f in ranked]
 

@@ -14,8 +14,23 @@ import numpy as np
 
 from ..gam import GAM, FactorTerm, LinearTerm, SplineTerm, TensorTerm
 from .config import GEFConfig
+from .errors import SelectionError
 
-__all__ = ["is_categorical", "build_terms", "build_gam"]
+__all__ = [
+    "DEGRADATION_LADDER",
+    "is_categorical",
+    "build_terms",
+    "build_gam",
+    "build_degraded_gam",
+]
+
+#: Rung names of the fit degradation ladder, simplest last.  ``full`` is
+#: the configured model; ``drop-tensor`` removes the lowest-ranked tensor
+#: term (applied repeatedly until none remain); ``univariate-only`` also
+#: replaces factor terms with plain splines (rank-deficient one-hot
+#: designs disappear); ``linear`` is the GLM fallback — one coefficient
+#: per feature.
+DEGRADATION_LADDER = ("full", "drop-tensor", "univariate-only", "linear")
 
 
 def is_categorical(thresholds: np.ndarray, categorical_threshold: int = 10) -> bool:
@@ -72,7 +87,48 @@ def build_gam(
     classification forests a logistic link with a binomial response.
     """
     if not features:
-        raise ValueError("F' is empty; nothing to build a GAM from")
+        raise SelectionError("F' is empty; nothing to build a GAM from")
     terms = build_terms(features, pairs, thresholds, config, feature_names)
+    link = "logit" if is_classifier and config.label != "raw" else "identity"
+    return GAM(terms, link=link)
+
+
+def build_degraded_gam(
+    features: list[int],
+    pairs: list[tuple[int, int]],
+    thresholds: list[np.ndarray],
+    config: GEFConfig,
+    is_classifier: bool,
+    feature_names: list[str] | None,
+    rung: str,
+) -> GAM:
+    """The (unfitted) GAM for one rung of the degradation ladder.
+
+    ``rung`` is ``"full"`` (delegates to :func:`build_gam`),
+    ``"univariate-only"`` (no tensor terms, factors replaced by splines)
+    or ``"linear"`` (no tensors, one :class:`~repro.gam.LinearTerm` per
+    feature).  The iterative ``drop-tensor`` rungs are expressed by the
+    caller shrinking ``pairs`` and rebuilding ``"full"``.
+    """
+    if rung == "full":
+        return build_gam(
+            features, pairs, thresholds, config, is_classifier, feature_names
+        )
+    if rung not in ("univariate-only", "linear"):
+        raise SelectionError(f"unknown degradation rung {rung!r}")
+    if not features:
+        raise SelectionError("F' is empty; nothing to build a GAM from")
+
+    def name_of(f: int) -> str:
+        return feature_names[f] if feature_names else f"x{f}"
+
+    terms = []
+    for f in features:
+        if rung == "linear":
+            terms.append(LinearTerm(f, name=f"l({name_of(f)})"))
+        else:
+            terms.append(
+                SplineTerm(f, n_splines=config.n_splines, name=f"s({name_of(f)})")
+            )
     link = "logit" if is_classifier and config.label != "raw" else "identity"
     return GAM(terms, link=link)

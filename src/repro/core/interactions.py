@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..xai.hstat import h_statistic_matrix
+from .errors import SelectionError
 from .feature_selection import forest_feature_gains
 
 __all__ = [
@@ -132,7 +133,7 @@ def h_stat_scores(
     """Friedman H^2 per candidate pair, from PDs over a sample of D*."""
     sample = np.atleast_2d(np.asarray(sample, dtype=np.float64))
     if sample.shape[0] < 2:
-        raise ValueError("H-Stat needs at least two sample rows")
+        raise SelectionError("H-Stat needs at least two sample rows")
     feats = sorted(set(int(f) for f in features))
     raw = h_statistic_matrix(forest.predict_raw, sample, feats, background)
     return {_normalize_pair(i, j): v for (i, j), v in raw.items()}
@@ -156,10 +157,10 @@ def rank_interactions(
         scores = gain_path_scores(forest, features)
     elif strategy == "h-stat":
         if sample is None:
-            raise ValueError("the h-stat strategy requires a data sample")
+            raise SelectionError("the h-stat strategy requires a data sample")
         scores = h_stat_scores(forest, features, sample)
     else:
-        raise ValueError(f"unknown interaction strategy {strategy!r}")
+        raise SelectionError(f"unknown interaction strategy {strategy!r}")
     return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
 
 
@@ -172,7 +173,7 @@ def select_interactions(
 ) -> list[Pair]:
     """F'': the top ``n_interactions`` pairs under the chosen heuristic."""
     if n_interactions < 0:
-        raise ValueError("n_interactions must be >= 0")
+        raise SelectionError("n_interactions must be >= 0")
     if n_interactions == 0:
         return []
     ranked = rank_interactions(forest, features, strategy, sample)

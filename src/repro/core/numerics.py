@@ -31,8 +31,10 @@ __all__ = [
     "assert_all_finite",
     "assert_psd_diagonal",
     "assert_strictly_increasing",
+    "get_kernel_fault_hook",
     "get_numerics_mode",
     "numerics_guard",
+    "set_kernel_fault_hook",
     "set_numerics_mode",
     "strict_enabled",
 ]
@@ -40,6 +42,7 @@ __all__ = [
 _MODES = ("off", "strict")
 _mode_lock = threading.Lock()
 _mode = "off"
+_fault_hook = None
 
 
 class NumericsError(FloatingPointError):
@@ -65,6 +68,26 @@ def strict_enabled() -> bool:
     return _mode == "strict"
 
 
+def set_kernel_fault_hook(hook) -> None:
+    """Install (or with ``None`` remove) the kernel fault-injection hook.
+
+    The hook is called as ``hook(label)`` at the entry of every
+    :func:`numerics_guard`-wrapped kernel and may raise
+    :class:`NumericsError` to simulate a numerics fault inside that named
+    kernel — the mechanism behind
+    :func:`repro.devtools.faultinject.force_kernel_fault`.  Production
+    code never installs hooks; the hot path pays one ``None`` check.
+    """
+    global _fault_hook
+    with _mode_lock:
+        _fault_hook = hook
+
+
+def get_kernel_fault_hook():
+    """The installed kernel fault hook, or ``None``."""
+    return _fault_hook
+
+
 @contextmanager
 def numerics_guard(label: str, over: str = "raise"):
     """Escalate floating-point faults inside a kernel to hard errors.
@@ -75,6 +98,9 @@ def numerics_guard(label: str, over: str = "raise"):
     ``"ignore"``).  Underflow stays silent — gradual underflow is benign
     everywhere in this codebase.  A no-op when the sanitizer is off.
     """
+    hook = _fault_hook
+    if hook is not None:
+        hook(label)
     if not strict_enabled():
         yield
         return

@@ -97,44 +97,115 @@ def sensitivity_profile(
     return out
 
 
+def _achieves(value: float, delta: float) -> bool:
+    return value >= delta if delta > 0 else value <= delta
+
+
+def _refine_pick(
+    gam, idx: int, base: float, center: float, grid: np.ndarray,
+    deltas: np.ndarray, achieved: np.ndarray, pick: int, delta: float,
+    refine_iters: int,
+) -> tuple[float, float]:
+    """Bisect between the coarse pick and its inward non-achieving
+    neighbour for a tighter minimal perturbation.
+
+    The achieving endpoint of the bracket is *re-verified at every step*
+    — with a non-monotone spline the midpoint's contribution can dip back
+    below the target even though both coarser neighbours achieved it, and
+    a naive bisection would walk out of the achieving region (and past
+    the perturbation budget).  The returned point therefore always
+    achieves the shift and is never farther from ``center`` than the
+    coarse pick.
+    """
+    step = -1 if grid[pick] > center else 1
+    neighbour = pick + step
+    if not 0 <= neighbour < len(grid) or achieved[neighbour]:
+        return float(grid[pick]), float(deltas[pick])
+    lo = float(grid[neighbour])  # does not achieve
+    hi = float(grid[pick])  # achieves (verified invariant)
+    hi_delta = float(deltas[pick])
+    for _ in range(refine_iters):
+        mid = 0.5 * (lo + hi)
+        mid_delta = float(
+            gam.partial_dependence(idx, np.asarray([mid]))[0] - base
+        )
+        if _achieves(mid_delta, delta):
+            hi, hi_delta = mid, mid_delta
+        else:
+            lo = mid
+    return hi, hi_delta
+
+
 def minimal_shift(
     explanation: GEFExplanation,
     x: np.ndarray,
     delta: float,
     n_points: int = 201,
+    budget: float | None = None,
+    refine_iters: int = 24,
 ) -> MinimalShift | None:
     """Smallest single-feature perturbation shifting the output by ``delta``.
 
-    Scans every spline component over its full sampling domain and returns
-    the candidate with the smallest absolute feature change whose
-    contribution delta reaches ``|delta|`` with the requested sign.
-    Returns ``None`` when no single feature can achieve the shift — itself
-    a robustness statement.
+    Scans every spline component over its sampling domain (clipped to
+    ``x ± budget`` when a perturbation ``budget`` is given), picks the
+    closest achieving grid point and sharpens it by a verified bisection
+    against the nearest non-achieving neighbour.  Returns the candidate
+    with the smallest absolute feature change whose contribution delta
+    reaches ``|delta|`` with the requested sign, or ``None`` when no
+    single feature can achieve the shift — itself a robustness statement.
+
+    The bisection is guarded for non-monotone splines: every refined
+    point is re-evaluated, so the result always achieves the shift, never
+    lies farther out than the coarse pick, and never leaves the budget.
     """
     if delta == 0.0:  # repro: allow(float-eq) exact zero is the one invalid input; test_minimal_shift_rejects_zero_delta
         raise ValueError("delta must be nonzero")
+    if budget is not None and budget <= 0:
+        raise ValueError("budget must be positive")
     x = np.asarray(x, dtype=np.float64).ravel()
     best: MinimalShift | None = None
     for idx, term in _spline_terms(explanation):
         feature = term.features[0]
         domain = explanation.dataset.domains[feature]
-        grid = np.linspace(float(domain.min()), float(domain.max()), n_points)
+        low, high = float(domain.min()), float(domain.max())
+        center = float(x[feature])
+        if budget is not None:
+            low = max(low, center - budget)
+            high = min(high, center + budget)
+            if low > high:
+                continue
+        grid = np.linspace(low, high, n_points)
         contrib = explanation.gam.partial_dependence(idx, grid)
         base = explanation.gam.partial_dependence(idx, x[feature : feature + 1])[0]
         deltas = contrib - base
         achieved = deltas >= delta if delta > 0 else deltas <= delta
         if not achieved.any():
             continue
-        distances = np.abs(grid - x[feature])
+        distances = np.abs(grid - center)
         distances[~achieved] = np.inf
         pick = int(np.argmin(distances))
+        new_value, achieved_shift = _refine_pick(
+            explanation.gam, idx, float(base), center, grid, deltas,
+            achieved, pick, delta, refine_iters,
+        )
+        perturbation = abs(new_value - center)
+        # Defense in depth: if refinement ever produced a worse, budget-
+        # violating or non-achieving point, fall back to the coarse pick.
+        if (
+            perturbation > float(distances[pick])
+            or (budget is not None and perturbation > budget)
+            or not _achieves(achieved_shift, delta)
+        ):
+            new_value = float(grid[pick])
+            achieved_shift = float(deltas[pick])
+            perturbation = float(distances[pick])
         candidate = MinimalShift(
             feature=feature,
             label=term.label,
-            original_value=float(x[feature]),
-            new_value=float(grid[pick]),
-            perturbation=float(distances[pick]),
-            achieved_shift=float(deltas[pick]),
+            original_value=center,
+            new_value=new_value,
+            perturbation=perturbation,
+            achieved_shift=achieved_shift,
         )
         if best is None or candidate.perturbation < best.perturbation:
             best = candidate

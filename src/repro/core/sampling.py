@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import kmeans_1d_centroids
+from .errors import SamplingError
 from .feature_selection import feature_thresholds
 from .numerics import assert_strictly_increasing
 
@@ -36,7 +37,7 @@ __all__ = [
 def _validate_thresholds(thresholds: np.ndarray) -> np.ndarray:
     thresholds = np.sort(np.asarray(thresholds, dtype=np.float64).ravel())
     if thresholds.size == 0:
-        raise ValueError("a feature with no thresholds has no sampling domain")
+        raise SamplingError("a feature with no thresholds has no sampling domain")
     return thresholds
 
 
@@ -71,7 +72,7 @@ def k_quantile_domain(thresholds: np.ndarray, k: int) -> np.ndarray:
     """The K-quantiles of the (multiplicity-preserving) threshold list."""
     thresholds = _validate_thresholds(thresholds)
     if k < 2:
-        raise ValueError("k must be >= 2")
+        raise SamplingError("k must be >= 2")
     qs = np.linspace(0.0, 1.0, k)
     return np.unique(np.quantile(thresholds, qs))
 
@@ -82,7 +83,7 @@ def equi_width_domain(
     """K evenly spaced points over the epsilon-extended threshold range."""
     thresholds = _validate_thresholds(thresholds)
     if k < 2:
-        raise ValueError("k must be >= 2")
+        raise SamplingError("k must be >= 2")
     eps = _epsilon(thresholds, epsilon_fraction)
     return np.linspace(thresholds[0] - eps, thresholds[-1] + eps, k)
 
@@ -93,7 +94,7 @@ def k_means_domain(
     """Centroids of a 1-D k-means over the thresholds (k = min(|V_i|, K))."""
     thresholds = _validate_thresholds(thresholds)
     if k < 1:
-        raise ValueError("k must be >= 1")
+        raise SamplingError("k must be >= 1")
     return kmeans_1d_centroids(thresholds, k, random_state=random_state)
 
 
@@ -101,10 +102,38 @@ def equi_size_domain(thresholds: np.ndarray, k: int) -> np.ndarray:
     """Averages of K contiguous equal-size runs of the sorted thresholds."""
     thresholds = _validate_thresholds(thresholds)
     if k < 1:
-        raise ValueError("k must be >= 1")
+        raise SamplingError("k must be >= 1")
     k = min(k, thresholds.size)
     chunks = np.array_split(thresholds, k)
     return np.unique([float(np.mean(c)) for c in chunks])
+
+
+def _widen_collapsed(
+    domain: np.ndarray, thresholds: np.ndarray, epsilon_fraction: float
+) -> np.ndarray:
+    """Rescue a domain that collapsed to a single point.
+
+    When the forest has neighbouring distinct thresholds around the
+    collapsed value the domain is widened to their midpoints (staying
+    inside the region the forest actually discriminates); a feature with
+    one distinct threshold falls back to a scale-aware epsilon widening.
+    The epsilon floor guarantees two distinct points even when the caller
+    set ``epsilon_fraction=0``.
+    """
+    center = float(domain[0])
+    distinct = np.unique(np.asarray(thresholds, dtype=np.float64))
+    points = [center]
+    if distinct.size >= 2:
+        below = distinct[distinct < center]
+        above = distinct[distinct > center]
+        if below.size:
+            points.append((float(below[-1]) + center) / 2.0)
+        if above.size:
+            points.append((center + float(above[0])) / 2.0)
+    if len(points) < 2:
+        eps = max(epsilon_fraction, 0.05) * max(abs(center), 1.0)
+        points = [center - eps, center + eps]
+    return np.unique(np.asarray(points, dtype=np.float64))
 
 
 def build_domain(
@@ -119,15 +148,14 @@ def build_domain(
     Degenerate safeguard: a feature with a single distinct threshold (e.g.
     a one-hot column always split at 0.5) would collapse to a one-point
     domain under the threshold-reusing strategies — and a point sitting
-    exactly on the split never exercises the right branch.  Such features
-    fall back to the All-Thresholds domain, whose epsilon extension
-    straddles the split.
+    exactly on the split never exercises the right branch.  Collapsed
+    domains are widened via the midpoints to the neighbouring distinct
+    thresholds (or an epsilon extension when there are none) instead of
+    propagating a one-point domain downstream.
     """
     if strategy == "all-thresholds":
         domain = all_thresholds_domain(thresholds, epsilon_fraction)
-        assert_strictly_increasing(domain, f"sampling domain [{strategy}]")
-        return domain
-    if strategy == "k-quantile":
+    elif strategy == "k-quantile":
         domain = k_quantile_domain(thresholds, k)
     elif strategy == "equi-width":
         domain = equi_width_domain(thresholds, k, epsilon_fraction)
@@ -136,9 +164,11 @@ def build_domain(
     elif strategy == "equi-size":
         domain = equi_size_domain(thresholds, k)
     else:
-        raise ValueError(f"unknown sampling strategy {strategy!r}")
-    if len(domain) < 2:
+        raise SamplingError(f"unknown sampling strategy {strategy!r}")
+    if len(domain) < 2 and strategy != "all-thresholds":
         domain = all_thresholds_domain(thresholds, epsilon_fraction)
+    if len(domain) < 2:
+        domain = _widen_collapsed(domain, thresholds, epsilon_fraction)
     assert_strictly_increasing(domain, f"sampling domain [{strategy}]")
     return domain
 
@@ -163,5 +193,5 @@ def build_sampling_domains(
             thresholds, strategy, k, epsilon_fraction, random_state
         )
     if not domains:
-        raise ValueError("the forest contains no splits; nothing to sample")
+        raise SamplingError("the forest contains no splits; nothing to sample")
     return domains

@@ -1,0 +1,196 @@
+"""Forest and sampling-domain validation: GEF's input contract, enforced.
+
+GEF is *data-free*: the trained forest structure is the only trusted
+input, so before any sampling or fitting work is spent the pipeline
+checks that the structure actually is a forest — child indices in range,
+every node reachable from the root exactly once (no orphans, no cycles,
+no diamond sharing), finite thresholds/gains on test nodes, finite leaf
+values, and feature indices inside ``[0, n_features_)``.  All checks are
+vectorized per tree (a bincount over child references plus a level-
+synchronous reachability sweep), so validation is O(total nodes) and
+negligible next to a single D* labelling pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ForestValidationError, SamplingError
+
+__all__ = ["ForestValidationReport", "validate_forest", "validate_domains"]
+
+#: Sentinel marking leaves in ``Tree.feature`` (mirrors ``forest.tree.LEAF``;
+#: duplicated here so ``core`` does not import ``forest`` at module load).
+_LEAF = -1
+
+
+@dataclass
+class ForestValidationReport:
+    """Summary of a successful forest validation."""
+
+    n_trees: int
+    n_nodes: int
+    n_leaves: int
+    n_features: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_trees} trees, {self.n_nodes} nodes "
+            f"({self.n_leaves} leaves), {self.n_features} features: OK"
+        )
+
+
+def _fail(tree_index: int, message: str) -> None:
+    raise ForestValidationError(f"tree {tree_index}: {message}", stage="validate")
+
+
+def _validate_tree(index: int, tree, n_features: int) -> tuple[int, int]:
+    """Structural checks of one tree; returns (n_nodes, n_leaves)."""
+    feature = np.asarray(tree.feature)
+    threshold = np.asarray(tree.threshold, dtype=np.float64)
+    left = np.asarray(tree.left)
+    right = np.asarray(tree.right)
+    value = np.asarray(tree.value, dtype=np.float64)
+    gain = np.asarray(tree.gain, dtype=np.float64)
+    n = len(feature)
+    if n == 0:
+        _fail(index, "empty node arrays")
+    for name, arr in (("threshold", threshold), ("left", left),
+                      ("right", right), ("value", value), ("gain", gain)):
+        if len(arr) != n:
+            _fail(index, f"array '{name}' has length {len(arr)}, expected {n}")
+
+    internal = feature != _LEAF
+    leaves = ~internal
+    if not np.all((feature[internal] >= 0) & (feature[internal] < n_features)):
+        bad = feature[internal & ((feature < 0) | (feature >= n_features))]
+        _fail(
+            index,
+            f"split feature index {int(bad[0])} outside [0, {n_features})",
+        )
+    if not np.all(np.isfinite(threshold[internal])):
+        _fail(index, "non-finite split threshold")
+    if not np.all(np.isfinite(gain[internal])):
+        _fail(index, "non-finite split gain")
+    if not np.all(np.isfinite(value[leaves])):
+        _fail(index, "non-finite leaf value")
+
+    if not internal.any():
+        return n, int(leaves.sum())
+
+    children = np.concatenate([left[internal], right[internal]])
+    if not np.all((children >= 0) & (children < n)):
+        bad = children[(children < 0) | (children >= n)]
+        _fail(index, f"dangling child index {int(bad[0])} (tree has {n} nodes)")
+    # Tree shape: the root is nobody's child, every other node is the
+    # child of exactly one internal node.  This excludes back-edges to
+    # the root and shared subtrees in one bincount.
+    in_degree = np.bincount(children, minlength=n)
+    if in_degree[0] != 0:
+        _fail(index, "cyclic structure: the root is referenced as a child")
+    multi = np.nonzero(in_degree > 1)[0]
+    if multi.size:
+        _fail(
+            index,
+            f"node {int(multi[0])} is referenced as a child "
+            f"{int(in_degree[multi[0]])} times (cycle or shared subtree)",
+        )
+    # Level-synchronous reachability from the root: with in-degree <= 1
+    # everywhere, any unreached node is an orphan (or sits on a detached
+    # cycle, which the in-degree check above already rules out pairwise).
+    reached = np.zeros(n, dtype=bool)
+    frontier = np.array([0], dtype=np.int64)
+    reached[0] = True
+    while frontier.size:
+        inner = frontier[internal[frontier]]
+        nxt = np.concatenate([left[inner], right[inner]]).astype(np.int64)
+        nxt = nxt[~reached[nxt]]
+        reached[nxt] = True
+        frontier = nxt
+    if not reached.all():
+        orphan = int(np.nonzero(~reached)[0][0])
+        _fail(index, f"orphan node {orphan} is unreachable from the root")
+    return n, int(leaves.sum())
+
+
+def validate_forest(forest) -> ForestValidationReport:
+    """Check the forest structure against the GEF input contract.
+
+    Verifies that the forest is fitted, reports a positive
+    ``n_features_``, and that every tree is a well-formed binary tree
+    with in-range child/feature indices and finite thresholds, gains and
+    leaf values.  Raises :class:`~repro.core.errors.ForestValidationError`
+    (naming the first offending tree and node) on any violation; returns
+    a :class:`ForestValidationReport` on success.
+    """
+    trees = getattr(forest, "trees_", None)
+    if not trees:
+        raise ForestValidationError(
+            "forest is not fitted (empty trees_)", stage="validate"
+        )
+    n_features = getattr(forest, "n_features_", None)
+    if n_features is None:
+        raise ForestValidationError(
+            "forest does not report n_features_", stage="validate"
+        )
+    n_features = int(n_features)
+    if n_features < 1:
+        raise ForestValidationError(
+            f"forest reports n_features_ = {n_features}; need >= 1",
+            stage="validate",
+        )
+    init = getattr(forest, "init_score_", 0.0)
+    if init is not None and not np.isfinite(float(init)):
+        raise ForestValidationError(
+            "forest init_score_ is not finite", stage="validate"
+        )
+    total_nodes = 0
+    total_leaves = 0
+    for index, tree in enumerate(trees):
+        n, n_leaves = _validate_tree(index, tree, n_features)
+        total_nodes += n
+        total_leaves += n_leaves
+    return ForestValidationReport(
+        n_trees=len(trees),
+        n_nodes=total_nodes,
+        n_leaves=total_leaves,
+        n_features=n_features,
+    )
+
+
+def validate_domains(domains: dict[int, np.ndarray], n_features: int) -> None:
+    """Sanity-check sampling domains before D* generation.
+
+    Every domain must belong to a feature in ``[0, n_features)`` and be a
+    non-empty, finite, strictly increasing 1-D array.  Raises
+    :class:`~repro.core.errors.SamplingError` on the first violation.
+    """
+    if not domains:
+        raise SamplingError("no sampling domains to draw from", stage="domains")
+    for feature, domain in domains.items():
+        if not 0 <= int(feature) < n_features:
+            raise SamplingError(
+                f"domain feature {feature} outside [0, {n_features})",
+                stage="domains",
+            )
+        arr = np.asarray(domain, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise SamplingError(
+                f"feature {feature}: sampling domain must be a non-empty "
+                f"1-D array",
+                stage="domains",
+            )
+        if not np.all(np.isfinite(arr)):
+            raise SamplingError(
+                f"feature {feature}: sampling domain contains non-finite "
+                f"values",
+                stage="domains",
+            )
+        if arr.size >= 2 and not np.all(np.diff(arr) > 0):
+            raise SamplingError(
+                f"feature {feature}: sampling domain is not strictly "
+                f"increasing",
+                stage="domains",
+            )

@@ -1,30 +1,48 @@
-"""Static-analysis devtools: the ``repro check`` lint subsystem.
+"""Developer tooling: the ``repro check`` lint subsystem and chaos harness.
 
 A self-contained AST lint engine with repo-specific rules (RNG
 discipline, thread-safety audit of module globals, mutable defaults,
 float equality, exception hygiene, ``__all__``/docstring coverage,
-builtin shadowing), a committed baseline for grandfathered findings, and
-text/JSON reporters.  Run it as ``repro check``, ``repro-check`` or the
-tier-1 gate ``tests/devtools/test_check_gate.py``.  DESIGN.md §8 has the
+builtin shadowing, pipeline error-taxonomy enforcement), a committed
+baseline for grandfathered findings, and text/JSON reporters.  Run it as
+``repro check``, ``repro-check`` or the tier-1 gate
+``tests/devtools/test_check_gate.py``.  DESIGN.md §8 has the
 architecture and rule catalog.
+
+Alongside the linter lives :mod:`repro.devtools.faultinject`, the
+deterministic fault-injection harness behind the chaos suite
+(DESIGN.md §9): forest corrupters, named-kernel numerics faults, and
+stage kill/stall hooks.
 """
 
 from .baseline import filter_baselined, load_baseline, save_baseline
 from .check import main, run_check
 from .engine import LintRule, ModuleContext, lint_file, lint_paths
+from .faultinject import (
+    FOREST_FAULTS,
+    corrupt_forest,
+    fail_stage,
+    force_kernel_fault,
+    stall_stage,
+)
 from .findings import SEVERITIES, Finding
 from .registry import THREAD_SAFETY_REGISTRY, is_registered
 from .reporters import render_json, render_text
 from .rules import default_rules, rule_catalog
 
 __all__ = [
+    "FOREST_FAULTS",
     "Finding",
     "LintRule",
     "ModuleContext",
     "SEVERITIES",
     "THREAD_SAFETY_REGISTRY",
+    "corrupt_forest",
     "default_rules",
+    "fail_stage",
     "filter_baselined",
+    "force_kernel_fault",
+    "stall_stage",
     "is_registered",
     "lint_file",
     "lint_paths",

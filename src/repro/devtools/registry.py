@@ -27,8 +27,13 @@ THREAD_SAFETY_REGISTRY: dict[tuple[str, str], str] = {
     # the per-model pack cache dict is guarded by packed._pack_lock.
     ("repro.forest.packed", "_engine"): "lock:_state_lock",
     ("repro.forest.packed", "_default_n_jobs"): "lock:_state_lock",
-    # repro.core.numerics — sanitizer mode, guarded by numerics._mode_lock.
+    # repro.core.numerics — sanitizer mode and the kernel fault-injection
+    # hook, both guarded by numerics._mode_lock (hot-path reads lock-free).
     ("repro.core.numerics", "_mode"): "lock:_mode_lock",
+    ("repro.core.numerics", "_fault_hook"): "lock:_mode_lock",
+    # repro.core.stages — stage fault-injection hooks for the chaos
+    # harness, guarded by stages._hooks_lock (runner reads lock-free).
+    ("repro.core.stages", "_stage_hooks"): "lock:_hooks_lock",
     # Name -> class registries: built by a dict display at import, read-only
     # afterwards.
     ("repro.gam.links", "_LINKS"): "frozen-after-import",

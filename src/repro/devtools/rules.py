@@ -1,6 +1,6 @@
 """The repo-specific lint rule catalog.
 
-Eight rules, each encoding an invariant this codebase's correctness
+Nine rules, each encoding an invariant this codebase's correctness
 claims actually rest on (see DESIGN.md §8 for the catalog rationale):
 
 ============================  ========  =====================================
@@ -23,6 +23,10 @@ rule id                       severity  invariant
 ``undocumented-public``       warning   symbols a module exports via
                                         ``__all__`` carry docstrings
 ``shadowed-builtin``          warning   no parameter names shadowing builtins
+``raise-outside-taxonomy``    error     pipeline stages raise the typed
+                                        taxonomy of ``repro.core.errors``,
+                                        not bare ``ValueError`` /
+                                        ``RuntimeError``
 ============================  ========  =====================================
 """
 
@@ -40,6 +44,7 @@ __all__ = [
     "GlobalStateRule",
     "MissingAllRule",
     "MutableDefaultRule",
+    "RaiseOutsideTaxonomyRule",
     "RngGlobalStateRule",
     "ShadowedBuiltinRule",
     "UndocumentedPublicRule",
@@ -404,6 +409,54 @@ class ShadowedBuiltinRule(LintRule):
                 )
 
 
+class RaiseOutsideTaxonomyRule(LintRule):
+    """The pipeline boundary promises typed errors: callers catch
+    :class:`~repro.core.errors.ReproError` families, not tracebacks.  A
+    bare ``ValueError``/``RuntimeError`` raised from a pipeline stage
+    module escapes that contract.  Waive deliberate API-misuse raises
+    (e.g. a bad argument *to the harness itself*) with a
+    ``# repro: allow(raise-outside-taxonomy)`` pragma."""
+
+    rule_id = "raise-outside-taxonomy"
+    severity = "error"
+    description = (
+        "pipeline stage raises bare ValueError/RuntimeError instead of a "
+        "repro.core.errors taxonomy type"
+    )
+    node_types = (ast.Raise,)
+
+    #: Modules forming the pipeline boundary — every raise crossing it
+    #: must be a taxonomy type.
+    _PIPELINE_MODULES = frozenset(
+        {
+            "repro.core.dataset",
+            "repro.core.explainer",
+            "repro.core.feature_selection",
+            "repro.core.gam_builder",
+            "repro.core.interactions",
+            "repro.core.sampling",
+            "repro.core.stages",
+            "repro.core.validate",
+        }
+    )
+
+    _BANNED = frozenset({"ValueError", "RuntimeError"})
+
+    def visit(self, node, ctx):
+        if ctx.module not in self._PIPELINE_MODULES:
+            return
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in self._BANNED:
+            ctx.report(
+                self, node,
+                f"`raise {exc.id}` at the pipeline boundary; raise a "
+                f"repro.core.errors type (e.g. SamplingError, "
+                f"SelectionError) so callers get the typed taxonomy",
+            )
+
+
 def default_rules(
     registry: dict[tuple[str, str], str] | None = None,
 ) -> list[LintRule]:
@@ -419,6 +472,7 @@ def default_rules(
         MissingAllRule(),
         UndocumentedPublicRule(),
         ShadowedBuiltinRule(),
+        RaiseOutsideTaxonomyRule(),
     ]
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.errors import FitDivergenceError
 from ..core.numerics import assert_all_finite, numerics_guard
 
 __all__ = ["default_lam_grid", "gcv_gridsearch"]
@@ -43,9 +44,15 @@ def _identity_gcv_path(gam, X: np.ndarray, y: np.ndarray, lam_grid: np.ndarray):
         for lam in lam_grid:
             S = gam.penalty_matrix(lam)
             A = xtx + S
-            beta = np.linalg.solve(A, xty)
+            try:
+                beta = np.linalg.solve(A, xty)
+                edof_mat = np.linalg.solve(A, xtx)
+            except np.linalg.LinAlgError as exc:
+                raise FitDivergenceError(
+                    f"GCV normal equations singular at lam={lam:g}: {exc}"
+                ) from exc
             rss = max(yty - 2.0 * beta @ xty + beta @ xtx @ beta, 0.0)
-            edof = float(np.trace(np.linalg.solve(A, xtx)))
+            edof = float(np.trace(edof_mat))
             gcv = n * rss / max(n - edof, 1e-8) ** 2
             assert_all_finite(np.asarray([gcv]), f"GCV score (lam={lam:g})")
             results.append((float(lam), gcv, beta, rss, edof))

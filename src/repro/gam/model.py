@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import ndtri
 
+from ..core.errors import FitDivergenceError
 from ..core.numerics import (
     assert_all_finite,
     assert_psd_diagonal,
@@ -201,7 +202,13 @@ class GAM:
                     xtwx += dw.T @ d
                     xtwz += dw.T @ z[lo:hi]
 
-                beta = np.linalg.solve(xtwx + S, xtwz)
+                try:
+                    beta = np.linalg.solve(xtwx + S, xtwz)
+                except np.linalg.LinAlgError as exc:
+                    raise FitDivergenceError(
+                        f"PIRLS normal equations singular at iteration "
+                        f"{iteration}: {exc}"
+                    ) from exc
 
                 eta = self._predict_eta_fitted(X, beta)
                 mu = self.link.inverse(eta)
@@ -214,6 +221,10 @@ class GAM:
                 deviance_prev = deviance
 
         assert_all_finite(beta, "PIRLS coefficients")
+        if not np.all(np.isfinite(beta)):
+            # Divergence must surface even with the sanitizer off: a NaN
+            # coefficient vector poisons every downstream prediction.
+            raise FitDivergenceError("PIRLS produced non-finite coefficients")
         self.coef_ = beta
         self._finalize_statistics(xtwx, S, deviance_prev, n)
         return self
@@ -221,7 +232,12 @@ class GAM:
     def _finalize_statistics(
         self, xtwx: np.ndarray, S: np.ndarray, deviance: float, n: int
     ) -> None:
-        a_inv_xtwx = np.linalg.solve(xtwx + S, xtwx)
+        try:
+            a_inv_xtwx = np.linalg.solve(xtwx + S, xtwx)
+        except np.linalg.LinAlgError as exc:
+            raise FitDivergenceError(
+                f"penalized normal equations singular: {exc}"
+            ) from exc
         edof = float(np.trace(a_inv_xtwx))
         if self.distribution.fixed_scale is not None:
             scale = float(self.distribution.fixed_scale)

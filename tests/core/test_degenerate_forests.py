@@ -60,10 +60,11 @@ class TestDegenerateForests:
         assert explanation.fidelity["r2"] > 0.9
 
     def test_requesting_more_features_than_used(self, small_forest):
-        """n_univariate beyond the used-feature count just keeps them all."""
-        explanation = GEF(
-            n_univariate=50, n_samples=1000, random_state=0
-        ).explain(small_forest)
+        """n_univariate beyond the used-feature count warns and keeps all."""
+        with pytest.warns(UserWarning, match="clamping"):
+            explanation = GEF(
+                n_univariate=50, n_samples=1000, random_state=0
+            ).explain(small_forest)
         assert len(explanation.features) == 5
 
     def test_requesting_more_interactions_than_pairs(self, small_forest):

@@ -97,3 +97,24 @@ class TestFeatureThresholds:
         thresholds = feature_thresholds(forest)[0]
         assert len(thresholds) == 5  # one per tree, same location
         assert len(np.unique(thresholds)) == 1
+
+
+class TestClampWarning:
+    def test_overlong_request_warns_and_clamps(self, small_forest):
+        import warnings as _warnings
+
+        gains = forest_feature_gains(small_forest)
+        n_used = int(np.count_nonzero(gains > 0))
+        with pytest.warns(UserWarning, match="clamping"):
+            selected = select_univariate(small_forest, n_used + 10)
+        assert len(selected) == n_used
+
+    def test_exact_request_does_not_warn(self, small_forest):
+        import warnings as _warnings
+
+        gains = forest_feature_gains(small_forest)
+        n_used = int(np.count_nonzero(gains > 0))
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            selected = select_univariate(small_forest, n_used)
+        assert len(selected) == n_used

@@ -88,3 +88,48 @@ class TestMinimalShift:
         before = small_forest.predict(x[None, :])[0]
         after = small_forest.predict(x_new[None, :])[0]
         assert after - before > 0.4  # the forest confirms a real jump
+
+
+class TestMinimalShiftHardening:
+    """Regression tests for the bisection refinement: non-monotone splines
+    (sin(20x) is one) must never yield a non-achieving or out-of-budget
+    refined point."""
+
+    def test_refinement_never_worse_than_coarse_pick(self, explanation):
+        x = np.full(5, 0.47)
+        coarse = minimal_shift(explanation, x, delta=0.7, refine_iters=0)
+        refined = minimal_shift(explanation, x, delta=0.7)
+        assert refined is not None
+        assert refined.perturbation <= coarse.perturbation + 1e-12
+        assert refined.achieved_shift >= 0.7
+
+    def test_refined_point_verified_on_nonmonotone_spline(self, explanation):
+        """Every returned point is re-evaluated: the achieved shift must
+        hold at the refined location, at several instances and targets."""
+        for center in (0.3, 0.45, 0.6):
+            for delta in (0.4, 0.7, -0.4):
+                result = minimal_shift(explanation, np.full(5, center), delta)
+                if result is None:
+                    continue
+                if delta > 0:
+                    assert result.achieved_shift >= delta
+                else:
+                    assert result.achieved_shift <= delta
+
+    def test_budget_is_respected(self, explanation):
+        x = np.full(5, 0.47)
+        unconstrained = minimal_shift(explanation, x, delta=0.7)
+        budget = unconstrained.perturbation * 1.5
+        result = minimal_shift(explanation, x, delta=0.7, budget=budget)
+        assert result is not None
+        assert result.perturbation <= budget
+        assert abs(result.new_value - result.original_value) <= budget
+
+    def test_tight_budget_excludes_far_candidates(self, explanation):
+        x = np.full(5, 0.5)
+        result = minimal_shift(explanation, x, delta=2.0, budget=1e-6)
+        assert result is None or result.perturbation <= 1e-6
+
+    def test_nonpositive_budget_rejected(self, explanation):
+        with pytest.raises(ValueError, match="budget"):
+            minimal_shift(explanation, np.full(5, 0.5), delta=0.5, budget=0.0)

@@ -175,3 +175,41 @@ class TestBuildSamplingDomains:
 
         with pytest.raises(ValueError):
             build_sampling_domains(GradientBoostingRegressor(), "equi-size")
+
+
+class TestCollapsedDomainRescue:
+    """A one-hot-style feature (single distinct threshold) must yield a
+    usable two-point domain instead of collapsing or raising."""
+
+    def test_single_threshold_widened(self):
+        thresholds = np.full(8, 0.5)
+        for strategy in ("k-quantile", "equi-size", "k-means"):
+            domain = build_domain(thresholds, strategy, k=4)
+            assert len(domain) >= 2
+            assert np.all(np.diff(domain) > 0)
+            assert domain.min() < 0.5 < domain.max()
+
+    def test_zero_epsilon_still_two_points(self):
+        domain = build_domain(np.full(8, 0.5), "all-thresholds",
+                              epsilon_fraction=0.0)
+        assert len(domain) >= 2
+        assert np.all(np.diff(domain) > 0)
+
+    def test_kmeans_k1_collapse_rescued(self):
+        domain = build_domain(np.array([0.3, 0.5, 0.7]), "k-means", k=1)
+        assert len(domain) >= 2
+
+    def test_widen_prefers_neighbour_midpoints(self):
+        from repro.core.sampling import _widen_collapsed
+
+        widened = _widen_collapsed(
+            np.array([0.5]), np.array([0.3, 0.5, 0.8]), 0.05
+        )
+        assert np.allclose(widened, [0.4, 0.5, 0.65])
+
+    def test_widen_epsilon_floor_without_neighbours(self):
+        from repro.core.sampling import _widen_collapsed
+
+        widened = _widen_collapsed(np.array([0.5]), np.array([0.5]), 0.0)
+        assert len(widened) == 2
+        assert widened[0] < 0.5 < widened[1]

@@ -1,0 +1,108 @@
+"""The forest/domain validators: GEF's input contract, one fault at a time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ForestValidationError,
+    ForestValidationReport,
+    ReproError,
+    SamplingError,
+    build_sampling_domains,
+    validate_domains,
+    validate_forest,
+)
+from repro.devtools import FOREST_FAULTS, corrupt_forest
+
+_FAULT_MESSAGES = {
+    "nan-threshold": "threshold",
+    "inf-leaf": "leaf value",
+    "dangling-child": "dangling child",
+    "cyclic-child": "root is referenced",
+    "orphan-node": "orphan",
+    "feature-out-of-range": "feature index",
+}
+
+
+def test_clean_forest_passes(small_forest):
+    report = validate_forest(small_forest)
+    assert isinstance(report, ForestValidationReport)
+    assert report.n_trees == len(small_forest.trees_)
+    assert report.n_features == int(small_forest.n_features_)
+    assert 0 < report.n_leaves < report.n_nodes
+    assert "OK" in str(report)
+
+
+@pytest.mark.parametrize("fault", FOREST_FAULTS)
+def test_every_fault_class_is_caught(small_forest, fault):
+    bad = corrupt_forest(small_forest, fault)
+    with pytest.raises(ForestValidationError) as excinfo:
+        validate_forest(bad)
+    assert excinfo.value.stage == "validate"
+    assert _FAULT_MESSAGES[fault] in str(excinfo.value)
+    # tree index of the defect is named
+    assert "tree 0" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("fault", FOREST_FAULTS)
+def test_corruption_never_mutates_the_original(small_forest, fault):
+    corrupt_forest(small_forest, fault)
+    validate_forest(small_forest)  # still clean
+
+
+def test_unknown_fault_rejected(small_forest):
+    with pytest.raises(ValueError, match="unknown fault"):
+        corrupt_forest(small_forest, "gamma-ray")
+
+
+def test_validation_errors_are_valueerrors(small_forest):
+    """Taxonomy compatibility: historical `except ValueError` still works."""
+    bad = corrupt_forest(small_forest, "nan-threshold")
+    with pytest.raises(ValueError):
+        validate_forest(bad)
+    with pytest.raises(ReproError):
+        validate_forest(bad)
+
+
+def test_unfitted_forest_rejected():
+    class Unfitted:
+        trees_ = []
+        n_features_ = 4
+
+    with pytest.raises(ForestValidationError, match="not fitted"):
+        validate_forest(Unfitted())
+
+
+def test_shared_subtree_rejected(small_forest):
+    bad = corrupt_forest(small_forest, "nan-threshold")  # deep copy helper
+    tree = bad.trees_[0]
+    tree.threshold = np.asarray(small_forest.trees_[0].threshold).copy()
+    internal = np.nonzero(np.asarray(tree.feature) != -1)[0]
+    # Point a second parent at an already-referenced node: in-degree 2.
+    target = int(tree.left[internal[0]])
+    tree.right[internal[0]] = target
+    with pytest.raises(ForestValidationError, match="referenced as a child"):
+        validate_forest(bad)
+
+
+def test_valid_domains_pass(small_forest):
+    domains = build_sampling_domains(small_forest, "equi-size", k=32)
+    validate_domains(domains, int(small_forest.n_features_))
+
+
+@pytest.mark.parametrize(
+    "domains, message",
+    [
+        ({}, "no sampling domains"),
+        ({99: np.array([0.0, 1.0])}, "outside"),
+        ({0: np.array([])}, "non-empty"),
+        ({0: np.array([0.0, np.nan])}, "non-finite"),
+        ({0: np.array([1.0, 0.5])}, "strictly"),
+    ],
+)
+def test_bad_domains_rejected(domains, message):
+    with pytest.raises(SamplingError, match=message) as excinfo:
+        validate_domains(domains, 5)
+    assert excinfo.value.stage == "domains"

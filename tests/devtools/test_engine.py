@@ -153,7 +153,7 @@ class TestReporters:
 
 
 class TestRuleCatalog:
-    def test_catalog_names_all_eight_rules(self):
+    def test_catalog_names_all_nine_rules(self):
         ids = {rule_id for rule_id, _, _ in rule_catalog()}
         assert ids == {
             "rng-global-state",
@@ -164,6 +164,7 @@ class TestRuleCatalog:
             "missing-all",
             "undocumented-public",
             "shadowed-builtin",
+            "raise-outside-taxonomy",
         }
 
     def test_catalog_severities_valid(self):

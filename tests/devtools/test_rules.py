@@ -365,3 +365,70 @@ class TestEngineBasics:
             """,
         )
         assert "mutable-default" not in rule_ids(findings)
+
+
+class TestRaiseOutsideTaxonomy:
+    def lint_pipeline_module(self, tmp_path, source):
+        """Lint a snippet placed at repro/core/sampling.py so the module
+        name resolves inside the rule's pipeline scope."""
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        path = pkg / "sampling.py"
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_file(path, default_rules())
+
+    def test_flags_valueerror_in_pipeline_module(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            def f(x):
+                raise ValueError("bad")
+            """,
+        )
+        assert "raise-outside-taxonomy" in rule_ids(findings)
+
+    def test_flags_bare_runtimeerror_name(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            def f():
+                raise RuntimeError
+            """,
+        )
+        assert "raise-outside-taxonomy" in rule_ids(findings)
+
+    def test_taxonomy_raises_fine(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            from repro.core.errors import SamplingError
+
+            def f(x):
+                if x < 0:
+                    raise SamplingError("bad domain")
+                raise
+            """,
+        )
+        assert "raise-outside-taxonomy" not in rule_ids(findings)
+
+    def test_non_pipeline_module_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f(x):
+                raise ValueError("fine outside the pipeline")
+            """,
+        )
+        assert "raise-outside-taxonomy" not in rule_ids(findings)
+
+    def test_waiver_pragma_suppresses(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            def f(x):
+                raise ValueError("x")  # repro: allow(raise-outside-taxonomy) harness misuse
+            """,
+        )
+        assert "raise-outside-taxonomy" not in rule_ids(findings)

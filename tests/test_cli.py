@@ -108,3 +108,49 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "GEF EXPLANATION REPORT" in out
         assert "LOCAL EXPLANATION" in out
+
+
+class TestErrorHandling:
+    """Pipeline failures exit 1 with a one-line `error [<stage>]` message."""
+
+    @pytest.fixture()
+    def corrupted_model_path(self, small_forest, tmp_path):
+        from repro.devtools import corrupt_forest
+
+        path = tmp_path / "corrupted.json"
+        save_forest(corrupt_forest(small_forest, "nan-threshold"), path)
+        return path
+
+    def test_corrupted_forest_exits_one(self, corrupted_model_path, capsys):
+        code = main([
+            "explain", str(corrupted_model_path),
+            "--splines", "3", "--samples", "500",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error [validate]:" in captured.err
+        assert captured.err.count("\n") == 1  # one line, no traceback
+        assert "Traceback" not in captured.err
+
+    def test_strict_flag_parses_and_runs(self, model_path, capsys):
+        code = main([
+            "explain", str(model_path),
+            "--splines", "3", "--samples", "500", "--strict",
+        ])
+        assert code == 0
+        assert "GEF explanation" in capsys.readouterr().out
+
+    def test_strict_failure_is_one_line(self, model_path, capsys, monkeypatch):
+        from repro.core.errors import SamplingError
+
+        def boom(*args, **kwargs):
+            raise SamplingError("injected", stage="sample")
+
+        monkeypatch.setattr("repro.core.explainer.generate_dataset", boom)
+        code = main([
+            "explain", str(model_path),
+            "--splines", "3", "--samples", "500", "--strict",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error [sample]: injected" in captured.err

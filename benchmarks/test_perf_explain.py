@@ -1,0 +1,112 @@
+"""Tier-2 perf smoke: end-to-end traced explain with per-stage timings.
+
+Runs the full GEF pipeline on the D' forest with the ``repro.obs``
+tracing/metrics subsystem enabled, prints the per-stage breakdown and
+writes a ``BENCH_explain.json`` trajectory artifact at the repo root
+(following the ``BENCH_predict.json`` conventions).  The run *fails* if
+the trace's stage spans cover less than 95% of the end-to-end ``explain``
+wall time — the observability acceptance gate, pinned in CI.
+
+Run with ``pytest benchmarks/test_perf_explain.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import GEF
+from repro.obs import disable_metrics, disable_tracing, enable_metrics, enable_tracing
+from repro.obs.summary import stage_totals, trace_coverage
+
+from _report import header, report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SEED = 0
+N_UNIVARIATE = 5
+N_SAMPLES = 20_000
+K_POINTS = 200
+
+
+def test_perf_explain(d_prime_forest):
+    header("GEF end-to-end explain: per-stage wall-time breakdown")
+
+    gef = GEF(
+        n_univariate=N_UNIVARIATE,
+        n_samples=N_SAMPLES,
+        k_points=K_POINTS,
+        random_state=SEED,
+    )
+    tracer = enable_tracing()
+    registry = enable_metrics()
+    wall_start = time.perf_counter()
+    try:
+        explanation = gef.explain(d_prime_forest)
+    finally:
+        wall_seconds = time.perf_counter() - wall_start
+        disable_tracing()
+        disable_metrics()
+
+    payload = tracer.to_chrome_trace(extra={"metrics": registry.snapshot()})
+    totals = stage_totals(payload)
+    coverage = trace_coverage(payload)
+    (explain_span,) = tracer.find("explain")
+    traced_seconds = explain_span.duration_s
+
+    stages = []
+    for name, entry in sorted(totals.items(), key=lambda kv: -kv[1]["seconds"]):
+        share = entry["seconds"] / traced_seconds if traced_seconds > 0 else 0.0
+        stages.append(
+            {
+                "stage": name,
+                "spans": entry["count"],
+                "seconds": round(entry["seconds"], 4),
+                "share": round(share, 4),
+            }
+        )
+        report(
+            f"{name:<22}{entry['count']:>4} span(s)  "
+            f"{entry['seconds']:>9.4f}s  {share * 100:>5.1f}%"
+        )
+    report(
+        f"{'end-to-end':<22}{'':>4}          {wall_seconds:>9.4f}s  "
+        f"(traced {traced_seconds:.4f}s, span coverage {coverage * 100:.1f}%)"
+    )
+
+    counters = registry.snapshot()["counters"]
+    artifact = {
+        "benchmark": "explain",
+        "config": {
+            "n_univariate": N_UNIVARIATE,
+            "n_samples": N_SAMPLES,
+            "k_points": K_POINTS,
+            "seed": SEED,
+            "forest": {"n_trees": 200, "num_leaves": 32},
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "wall_seconds": round(wall_seconds, 4),
+        "traced_seconds": round(traced_seconds, 4),
+        "span_coverage": round(coverage, 4),
+        "n_spans": len(tracer.spans()),
+        "stages": stages,
+        "counters": {k: v for k, v in sorted(counters.items())},
+        "fidelity_r2": round(float(explanation.fidelity["r2"]), 4),
+    }
+    (REPO_ROOT / "BENCH_explain.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    assert coverage >= 0.95, (
+        f"stage spans cover only {coverage * 100:.1f}% of the explain "
+        f"wall time (acceptance floor is 95%)"
+    )
+    assert counters.get("predict.rows", 0) >= N_SAMPLES
+    assert explanation.stage_report is not None
+    assert all(rec.duration_s > 0.0 for rec in explanation.stage_report.records
+               if rec.status != "skipped")

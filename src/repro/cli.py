@@ -103,7 +103,29 @@ def _cmd_explain(args) -> int:
         random_state=args.seed,
         strict=args.strict,
     )
-    explanation = gef.explain(forest, verbose=args.verbose)
+    tracer = None
+    if args.trace:
+        from .obs import enable_metrics, enable_tracing
+
+        tracer = enable_tracing()
+        enable_metrics()
+    try:
+        explanation = gef.explain(forest, verbose=args.verbose)
+    finally:
+        if tracer is not None:
+            from .obs import disable_metrics, disable_tracing
+
+            registry = disable_metrics()
+            tracer = disable_tracing()
+            tracer.write(
+                args.trace,
+                extra={"metrics": registry.snapshot()},
+            )
+            print(
+                f"trace written to {args.trace} "
+                f"({len(tracer.spans())} spans); view in chrome://tracing "
+                f"or summarize with `repro trace summarize {args.trace}`"
+            )
     if explanation.stage_report is not None and explanation.stage_report.degraded:
         print(
             f"warning: degraded explanation "
@@ -141,6 +163,19 @@ def _cmd_check(args) -> int:
     from .devtools.check import run_from_args
 
     return run_from_args(args)
+
+
+def _cmd_trace(args) -> int:
+    from .obs import load_trace, summarize_trace, validate_chrome_trace
+
+    try:
+        payload = load_trace(args.trace_file)
+        validate_chrome_trace(payload)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_trace(payload))
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -198,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the report to this file instead of stdout")
     explain.add_argument("--save", default=None,
                          help="archive the fitted explanation to this JSON path")
+    explain.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                         help="record a pipeline trace and write it to this "
+                              "path in Chrome trace-event format "
+                              "(chrome://tracing / Perfetto)")
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument("--strict", action="store_true",
                          help="fail fast: disable retries and the fit "
@@ -212,6 +251,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_check_arguments(check)
     check.set_defaults(func=_cmd_check)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a pipeline trace written by explain --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="print the per-stage time/percentage table"
+    )
+    summarize.add_argument("trace_file", help="trace JSON path")
+    summarize.set_defaults(func=_cmd_trace)
 
     report = sub.add_parser(
         "report", help="render a report from a saved explanation archive"

@@ -27,6 +27,9 @@ import numpy as np
 
 from ..gam.gcv import default_lam_grid
 from ..metrics import r2_score, rmse
+from ..obs.metrics import inc as metric_inc, set_gauge as metric_gauge
+from ..obs.trace import advance as clock_advance, get_tracer, monotonic
+from ..obs.trace import span as obs_span
 from .config import GEFConfig
 from .dataset import generate_dataset
 from .errors import (
@@ -103,15 +106,50 @@ class _StageRunner:
         retries = 0 if cfg.strict else cfg.max_retries
         timeout = _timeout_for(cfg.stage_timeout, stage)
         record = self.report.record(stage)
+        # All timing below reads the pipeline clock (repro.obs.trace):
+        # synthetic stall seconds charged by fault hooks advance that
+        # clock, so budgets, records and spans agree deterministically.
+        tracer = get_tracer()
+        stage_span = None
+        if tracer is not None:
+            stage_span = tracer.start(f"stage.{stage}")
+            record.span_id = stage_span.span_id
+        stage_start = monotonic()
+        try:
+            return self._attempt_loop(
+                stage, fn, recoverable, retries, timeout, record, stage_span
+            )
+        finally:
+            record.duration_s = monotonic() - stage_start
+            if stage_span is not None:
+                stage_span.set(
+                    status=record.status,
+                    attempts=len(record.attempts),
+                    fallback=record.fallback,
+                )
+                tracer.finish(stage_span)
+
+    def _attempt_loop(
+        self, stage, fn, recoverable, retries, timeout, record, stage_span
+    ):
+        tracer = get_tracer()
         attempt = 0
         while True:
             attempt += 1
+            attempt_span = None
+            if tracer is not None:
+                attempt_span = tracer.start(
+                    f"stage.{stage}.attempt", attempt=attempt
+                )
             penalty = 0.0
-            start = time.monotonic()
+            start = monotonic()
             try:
                 hook = get_stage_hook(stage)
                 if hook is not None:
                     penalty = float(hook(stage) or 0.0)
+                    # Synthetic stall seconds enter every downstream
+                    # duration through the shared clock offset.
+                    clock_advance(penalty)
                     if timeout is not None and penalty > timeout:
                         raise StageTimeoutError(
                             f"stage '{stage}' stalled for {penalty:.1f}s "
@@ -120,18 +158,24 @@ class _StageRunner:
                         )
                 value = fn(attempt)
             except Exception as exc:  # noqa: we always re-raise (typed)
-                record.elapsed += time.monotonic() - start + penalty
+                attempt_elapsed = monotonic() - start
+                record.elapsed += attempt_elapsed
+                if attempt_span is not None:
+                    attempt_span.set(error=str(exc))
+                    tracer.finish(attempt_span)
                 if (
                     isinstance(exc, recoverable)
                     and not isinstance(exc, StageTimeoutError)
                     and attempt <= retries
                 ):
-                    delay = cfg.retry_backoff * (2 ** (attempt - 1))
+                    delay = self.config.retry_backoff * (2 ** (attempt - 1))
+                    metric_inc(f"{stage}.retries")
                     record.attempts.append(
                         StageAttempt(
                             outcome="retry",
                             error=str(exc),
                             note=f"retrying (backoff {delay:g}s)",
+                            duration_s=attempt_elapsed,
                         )
                     )
                     if self.verbose:
@@ -150,15 +194,21 @@ class _StageRunner:
                         stage=stage,
                     )
                 record.attempts.append(
-                    StageAttempt(outcome="failed", error=str(exc))
+                    StageAttempt(
+                        outcome="failed",
+                        error=str(exc),
+                        duration_s=attempt_elapsed,
+                    )
                 )
                 record.status = "failed"
                 record.error = str(typed)
                 if typed is exc:
                     raise
                 raise typed from exc
-            elapsed = time.monotonic() - start + penalty
+            elapsed = monotonic() - start
             record.elapsed += elapsed
+            if attempt_span is not None:
+                tracer.finish(attempt_span)
             if timeout is not None and elapsed > timeout:
                 timed_out = StageTimeoutError(
                     f"stage '{stage}' took {elapsed:.1f}s "
@@ -166,12 +216,18 @@ class _StageRunner:
                     stage=stage,
                 )
                 record.attempts.append(
-                    StageAttempt(outcome="failed", error=str(timed_out))
+                    StageAttempt(
+                        outcome="failed",
+                        error=str(timed_out),
+                        duration_s=elapsed,
+                    )
                 )
                 record.status = "failed"
                 record.error = str(timed_out)
                 raise timed_out
-            record.attempts.append(StageAttempt(outcome="ok"))
+            record.attempts.append(
+                StageAttempt(outcome="ok", duration_s=elapsed)
+            )
             record.status = "ok" if attempt == 1 else "recovered"
             return value
 
@@ -274,7 +330,11 @@ class GEF:
         plan = _rung_plan(pairs) if not cfg.strict else _rung_plan(pairs)[:1]
         last_error: Exception | None = None
         for rung_index, (rung, rung_pairs, note) in enumerate(plan):
+            if rung_index > 0:
+                metric_inc("fit.rung_descents")
+                metric_gauge("degrade.rung", rung_index)
             for trial in range(1 + in_rung_retries):
+                trial_start = monotonic()
                 if rung in ("univariate-only", "linear"):
                     gam = build_degraded_gam(
                         features, rung_pairs, thresholds, cfg,
@@ -304,9 +364,10 @@ class GEF:
                     gam.ridge = max(gam.ridge, _RIDGE_BUMP)
                     trial_note = "lambda grid escalated + ridge bump"
                 try:
-                    gam.gridsearch(
-                        dataset.X_train, dataset.y_train, lam_grid=lam_grid
-                    )
+                    with obs_span("fit.rung", rung=rung, trial=trial):
+                        gam.gridsearch(
+                            dataset.X_train, dataset.y_train, lam_grid=lam_grid
+                        )
                 except _FIT_FAULTS as exc:
                     last_error = exc
                     more_trials = trial < in_rung_retries
@@ -326,6 +387,7 @@ class GEF:
                                     if more_rungs else None
                                 )
                             ),
+                            duration_s=monotonic() - trial_start,
                         )
                     )
                     if verbose:
@@ -367,6 +429,21 @@ class GEF:
         cfg = self.config
         report = StageReport()
         runner = _StageRunner(cfg, report, verbose)
+        with obs_span(
+            "explain",
+            n_trees=int(getattr(forest, "n_trees_", 0) or 0),
+            n_features=int(forest.n_features_),
+            n_samples=int(cfg.n_samples),
+        ):
+            explanation = self._explain_pipeline(
+                forest, feature_names, verbose, runner, report
+            )
+        return explanation
+
+    def _explain_pipeline(
+        self, forest, feature_names, verbose, runner, report
+    ) -> GEFExplanation:
+        cfg = self.config
 
         if cfg.validate_inputs:
             runner.run(
@@ -485,11 +562,12 @@ class GEF:
         if verbose:
             print(f"[gef] GCV selected lam = {gam.lam:g}")
 
-        y_hat = gam.predict_mu(dataset.X_test)
-        fidelity = {
-            "rmse": rmse(dataset.y_test, y_hat),
-            "r2": r2_score(dataset.y_test, y_hat),
-        }
+        with obs_span("fidelity", rows=int(len(dataset.X_test))):
+            y_hat = gam.predict_mu(dataset.X_test)
+            fidelity = {
+                "rmse": rmse(dataset.y_test, y_hat),
+                "r2": r2_score(dataset.y_test, y_hat),
+            }
         return GEFExplanation(
             gam=gam,
             features=features,

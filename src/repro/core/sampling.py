@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import kmeans_1d_centroids
+from ..obs.metrics import inc as metric_inc
 from .errors import SamplingError
 from .feature_selection import feature_thresholds
 from .numerics import assert_strictly_increasing
@@ -169,6 +170,7 @@ def build_domain(
         domain = all_thresholds_domain(thresholds, epsilon_fraction)
     if len(domain) < 2:
         domain = _widen_collapsed(domain, thresholds, epsilon_fraction)
+        metric_inc("sample.domains_widened")
     assert_strictly_increasing(domain, f"sampling domain [{strategy}]")
     return domain
 

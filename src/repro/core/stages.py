@@ -69,11 +69,14 @@ class StageAttempt:
     (failed and pushed the ladder down a rung) or ``"failed"`` (terminal).
     ``note`` records the recovery decision taken *after* this attempt —
     e.g. ``"reseeded rng"`` or ``"lambda grid escalated"``.
+    ``duration_s`` is this attempt's execution time on the pipeline clock
+    (:func:`repro.obs.trace.monotonic`), synthetic stall seconds included.
     """
 
     outcome: str
     error: str | None = None
     note: str | None = None
+    duration_s: float = 0.0
 
 
 @dataclass
@@ -84,11 +87,19 @@ class StageRecord:
     retries), ``"degraded"`` (succeeded on a fallback), ``"failed"`` or
     ``"skipped"``.  ``fallback`` names the degradation-ladder rung that
     finally succeeded (``None`` when no fallback was needed).
+
+    Timing provenance: ``elapsed`` sums the attempt bodies only, while
+    ``duration_s`` is the stage's end-to-end time (retry backoff included)
+    on the pipeline clock.  ``span_id`` links the record to its
+    ``stage.<name>`` span when the run was traced
+    (:func:`repro.obs.trace.enable_tracing`); ``None`` otherwise.
     """
 
     stage: str
     status: str = "skipped"
     elapsed: float = 0.0
+    duration_s: float = 0.0
+    span_id: int | None = None
     fallback: str | None = None
     error: str | None = None
     attempts: list[StageAttempt] = field(default_factory=list)
@@ -146,15 +157,34 @@ class StageReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "StageReport":
-        """Rebuild a report serialized by :meth:`to_dict`."""
+        """Rebuild a report serialized by :meth:`to_dict`.
+
+        Tolerant of payloads from before the timing provenance fields
+        existed (``duration_s``, ``span_id``, attempt durations): missing
+        keys fall back to their zero values, and unknown keys are ignored
+        so newer archives load on older readers too.
+        """
         records = []
         for rec in data.get("records", []):
-            attempts = [StageAttempt(**a) for a in rec.get("attempts", [])]
+            attempts = [
+                StageAttempt(
+                    outcome=a.get("outcome", "ok"),
+                    error=a.get("error"),
+                    note=a.get("note"),
+                    duration_s=float(a.get("duration_s", 0.0)),
+                )
+                for a in rec.get("attempts", [])
+            ]
+            span_id = rec.get("span_id")
             records.append(
                 StageRecord(
                     stage=rec["stage"],
                     status=rec.get("status", "skipped"),
                     elapsed=float(rec.get("elapsed", 0.0)),
+                    duration_s=float(
+                        rec.get("duration_s", rec.get("elapsed", 0.0))
+                    ),
+                    span_id=None if span_id is None else int(span_id),
                     fallback=rec.get("fallback"),
                     error=rec.get("error"),
                     attempts=attempts,

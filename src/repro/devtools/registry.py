@@ -34,6 +34,14 @@ THREAD_SAFETY_REGISTRY: dict[tuple[str, str], str] = {
     # repro.core.stages — stage fault-injection hooks for the chaos
     # harness, guarded by stages._hooks_lock (runner reads lock-free).
     ("repro.core.stages", "_stage_hooks"): "lock:_hooks_lock",
+    # repro.obs — the observability layer's installed tracer / metrics
+    # registry / observer tuple plus the synthetic clock offset, all
+    # replaced whole under their module's _state_lock (or
+    # _observers_lock); instrumentation hot paths read lock-free.
+    ("repro.obs.trace", "_tracer"): "lock:_state_lock",
+    ("repro.obs.trace", "_synthetic_offset"): "lock:_state_lock",
+    ("repro.obs.metrics", "_registry"): "lock:_state_lock",
+    ("repro.obs.profile", "_observers"): "lock:_observers_lock",
     # Name -> class registries: built by a dict display at import, read-only
     # afterwards.
     ("repro.gam.links", "_LINKS"): "frozen-after-import",

@@ -1,6 +1,6 @@
 """The repo-specific lint rule catalog.
 
-Nine rules, each encoding an invariant this codebase's correctness
+Ten rules, each encoding an invariant this codebase's correctness
 claims actually rest on (see DESIGN.md §8 for the catalog rationale):
 
 ============================  ========  =====================================
@@ -27,6 +27,11 @@ rule id                       severity  invariant
                                         taxonomy of ``repro.core.errors``,
                                         not bare ``ValueError`` /
                                         ``RuntimeError``
+``adhoc-timing``              error     pipeline modules read the pipeline
+                                        clock (``repro.obs``), never raw
+                                        ``time.perf_counter`` /
+                                        ``time.monotonic``, so traces and
+                                        fault-injected stalls stay coherent
 ============================  ========  =====================================
 """
 
@@ -39,6 +44,7 @@ from .engine import LintRule
 from .registry import THREAD_SAFETY_REGISTRY
 
 __all__ = [
+    "AdhocTimingRule",
     "BroadExceptRule",
     "FloatEqualityRule",
     "GlobalStateRule",
@@ -457,6 +463,61 @@ class RaiseOutsideTaxonomyRule(LintRule):
             )
 
 
+class AdhocTimingRule(LintRule):
+    """All pipeline timing flows through the observability clock
+    (:func:`repro.obs.trace.monotonic`) and spans, which incorporate the
+    synthetic stall seconds the fault-injection harness charges.  A raw
+    ``time.perf_counter()`` / ``time.monotonic()`` read in a pipeline
+    module produces durations that traces cannot see and chaos stalls
+    cannot reach.  Waive deliberate raw-clock reads (e.g. benchmarking
+    the clock itself) with a ``# repro: allow(adhoc-timing)`` pragma."""
+
+    rule_id = "adhoc-timing"
+    severity = "error"
+    description = (
+        "raw time.perf_counter()/time.monotonic() in a pipeline module; "
+        "use the repro.obs pipeline clock and spans instead"
+    )
+    node_types = (ast.Attribute, ast.ImportFrom)
+
+    #: Module prefixes forming the instrumented pipeline.  ``repro.obs``
+    #: itself is the timing authority and exempt; devtools, cli and the
+    #: xai baselines are harness code outside the traced pipeline.
+    _PIPELINE_PREFIXES = ("repro.core.", "repro.gam.", "repro.forest.")
+
+    _BANNED = frozenset(
+        {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+    )
+
+    def _in_pipeline(self, ctx) -> bool:
+        return ctx.module.startswith(self._PIPELINE_PREFIXES)
+
+    def visit(self, node, ctx):
+        if not self._in_pipeline(ctx):
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._BANNED:
+                        ctx.report(
+                            self, node,
+                            f"from time import {alias.name} bypasses the "
+                            f"pipeline clock; use repro.obs.trace.monotonic",
+                        )
+            return
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+            and node.attr in self._BANNED
+        ):
+            ctx.report(
+                self, node,
+                f"time.{node.attr}() bypasses the pipeline clock; use "
+                f"repro.obs.trace.monotonic (spans see synthetic stalls, "
+                f"raw clocks do not)",
+            )
+
+
 def default_rules(
     registry: dict[tuple[str, str], str] | None = None,
 ) -> list[LintRule]:
@@ -473,6 +534,7 @@ def default_rules(
         UndocumentedPublicRule(),
         ShadowedBuiltinRule(),
         RaiseOutsideTaxonomyRule(),
+        AdhocTimingRule(),
     ]
 
 

@@ -55,6 +55,8 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..core.numerics import assert_all_finite
+from ..obs.metrics import get_metrics, inc as metric_inc, observe as metric_observe
+from ..obs.trace import monotonic as obs_monotonic, span as obs_span
 from .tree import LEAF, Tree
 
 __all__ = [
@@ -451,6 +453,7 @@ class PackedForest:
     ) -> np.ndarray:
         """``init + sum of trees`` for every row, bitwise equal to the loop."""
         X = np.ascontiguousarray(np.atleast_2d(X), dtype=np.float64)
+        metric_inc("predict.rows", X.shape[0])
         key = None
         if use_cache and PREDICTION_CACHE_SIZE > 0:
             key = (X.shape, hashlib.blake2b(X, digest_size=16).digest())
@@ -460,8 +463,13 @@ class PackedForest:
                     self._cache.move_to_end(key)
                     hit = hit.copy()
             if hit is not None:
+                metric_inc("predict.cache_hits")
                 return hit
-        out = self._evaluate(X, chunk=chunk, cshift=cshift, n_jobs=n_jobs)
+            metric_inc("predict.cache_misses")
+        with obs_span(
+            "packed.predict", rows=int(X.shape[0]), trees=int(self.n_trees)
+        ):
+            out = self._evaluate(X, chunk=chunk, cshift=cshift, n_jobs=n_jobs)
         if key is not None:
             with self._cache_lock:
                 self._cache[key] = out.copy()
@@ -521,7 +529,15 @@ def packed_for(model) -> PackedForest | None:
     # Pack outside the lock (it is the expensive part); a concurrent
     # packer may race us, but both produce equivalent objects and the
     # last write simply wins.
-    packed = PackedForest.pack(trees, model.init_score_, int(model.n_features_))
+    registry = get_metrics()
+    t0 = obs_monotonic() if registry is not None else 0.0
+    with obs_span("packed.pack", n_trees=len(trees)):
+        packed = PackedForest.pack(
+            trees, model.init_score_, int(model.n_features_)
+        )
+    if registry is not None:
+        metric_inc("pack.count")
+        metric_observe("pack.seconds", obs_monotonic() - t0)
     with _pack_lock:
         model.__dict__["_packed_state"] = (fingerprint, packed)
     return packed

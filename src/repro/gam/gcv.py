@@ -13,6 +13,8 @@ import numpy as np
 
 from ..core.errors import FitDivergenceError
 from ..core.numerics import assert_all_finite, numerics_guard
+from ..obs.metrics import inc as metric_inc
+from ..obs.trace import span as obs_span
 
 __all__ = ["default_lam_grid", "gcv_gridsearch"]
 
@@ -76,6 +78,16 @@ def gcv_gridsearch(gam, X, y, lam_grid=None, verbose: bool = False):
     identity_normal = (
         gam.link.name == "identity" and gam.distribution.name == "normal"
     )
+    metric_inc("fit.gcv_candidates", len(lam_grid))
+    with obs_span(
+        "gam.gcv",
+        candidates=int(len(lam_grid)),
+        path="identity" if identity_normal else "refit",
+    ):
+        return _gridsearch_body(gam, X, y, lam_grid, identity_normal, verbose)
+
+
+def _gridsearch_body(gam, X, y, lam_grid, identity_normal, verbose):
     lam_path = []
     if identity_normal:
         results, xtx = _identity_gcv_path(gam, X, y, lam_grid)

@@ -27,6 +27,8 @@ from ..core.numerics import (
     assert_psd_diagonal,
     numerics_guard,
 )
+from ..obs.metrics import inc as metric_inc
+from ..obs.trace import span as obs_span
 from .distributions import get_distribution
 from .links import get_link
 from .terms import InterceptTerm, Term
@@ -187,7 +189,7 @@ class GAM:
             self.link.name == "identity" and self.distribution.name == "normal"
         )
 
-        with numerics_guard("PIRLS solve"):
+        with obs_span("gam.fit", n=n, p=p), numerics_guard("PIRLS solve"):
             for iteration in range(self.max_iter):
                 mu = self.link.inverse(eta)
                 g_prime = self.link.derivative(mu)
@@ -220,6 +222,7 @@ class GAM:
                     break
                 deviance_prev = deviance
 
+        metric_inc("fit.pirls_iters", iteration + 1)
         assert_all_finite(beta, "PIRLS coefficients")
         if not np.all(np.isfinite(beta)):
             # Divergence must surface even with the sanitizer off: a NaN

@@ -1,0 +1,77 @@
+"""repro.obs — zero-dependency observability for the GEF pipeline.
+
+Three cooperating layers (DESIGN.md §10), all **off by default** and
+costing one ``None``-check per instrumentation site when disabled:
+
+* :mod:`repro.obs.trace` — structured tracing.  :func:`span` opens a
+  nestable named span; an enabled :class:`Tracer` collects the finished
+  spans into an in-memory tree exportable as plain JSON
+  (:meth:`Tracer.to_dict`) or Chrome ``chrome://tracing`` / Perfetto
+  trace-event JSON (:meth:`Tracer.to_chrome_trace`).
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges
+  and histograms (``predict.rows``, ``fit.pirls_iters``,
+  ``sample.retries``, ``degrade.rung``, ...) with a :func:`snapshot` API.
+* :mod:`repro.obs.profile` — an opt-in observer protocol
+  (``on_span_start`` / ``on_span_end``) so tests, benchmarks and the
+  fault-injection harness can watch the live pipeline.
+
+Timing flows through the module's *pipeline clock*
+(:func:`repro.obs.trace.monotonic`): real ``time.perf_counter`` plus the
+synthetic seconds charged by :func:`repro.devtools.faultinject.stall_stage`
+(:func:`repro.obs.trace.advance`), so chaos-suite stalls show up in span
+durations deterministically without any sleeping.  The ``adhoc-timing``
+lint rule keeps every other pipeline module off the raw ``time`` clocks.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    inc,
+    observe,
+    set_gauge,
+)
+from .profile import (
+    SpanObserver,
+    add_span_observer,
+    clear_span_observers,
+    remove_span_observer,
+)
+from .trace import (
+    Span,
+    Tracer,
+    advance,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    monotonic,
+    span,
+    validate_chrome_trace,
+)
+from .summary import load_trace, summarize_trace
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "SpanObserver",
+    "Tracer",
+    "add_span_observer",
+    "advance",
+    "clear_span_observers",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "inc",
+    "load_trace",
+    "monotonic",
+    "observe",
+    "remove_span_observer",
+    "set_gauge",
+    "span",
+    "summarize_trace",
+    "validate_chrome_trace",
+]

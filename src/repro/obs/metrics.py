@@ -1,0 +1,178 @@
+"""Thread-safe metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is installed process-wide with
+:func:`enable_metrics`; the pipeline reports through the module-level
+helpers :func:`inc`, :func:`set_gauge` and :func:`observe`, each of which
+is a single ``None``-check when no registry is installed.  Metric names
+are flat dotted strings following the site that owns them::
+
+    predict.rows            counter   rows evaluated by the packed engine
+    predict.cache_hits      counter   packed prediction LRU cache hits
+    predict.cache_misses    counter   packed prediction LRU cache misses
+    pack.count              counter   forests packed
+    pack.seconds            histogram pack times
+    sample.retries          counter   sample-stage retry attempts
+    sample.domains_widened  counter   collapsed domains rescued by widening
+    fit.pirls_iters         counter   PIRLS iterations across all fits
+    fit.gcv_candidates      counter   lambda candidates scored by GCV
+    fit.rung_descents       counter   degradation-ladder rungs descended
+    degrade.rung            gauge     deepest ladder rung index reached
+
+All registry mutation happens under one internal lock; increments are
+exact under concurrency (the threaded test hammers one counter from
+eight threads and asserts the total).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "MetricsRegistry",
+    "disable_metrics",
+    "enable_metrics",
+    "get_metrics",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+# Module-state discipline (see repro.devtools.registry): writes to the
+# installed registry go through _state_lock; hot-path reads are single
+# atomic loads under the GIL and stay lock-free.
+_state_lock = threading.Lock()
+_registry = None
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms behind one lock.
+
+    Histograms keep count/sum/min/max plus base-2 logarithmic bucket
+    counts (bucket key ``ceil(log2(value))``), enough for the latency
+    distributions the pipeline cares about without storing samples.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, dict] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        value = float(value)
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        value = float(value)
+        if value > 0.0:
+            bucket = int(math.ceil(math.log2(value)))
+        else:
+            bucket = None
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = {
+                    "count": 0, "sum": 0.0,
+                    "min": math.inf, "max": -math.inf,
+                    "buckets": {},
+                }
+                self._hists[name] = hist
+            hist["count"] += 1
+            hist["sum"] += value
+            hist["min"] = min(hist["min"], value)
+            hist["max"] = max(hist["max"], value)
+            key = "<=0" if bucket is None else f"2^{bucket}"
+            hist["buckets"][key] = hist["buckets"].get(key, 0) + 1
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float | None:
+        """Current value of gauge ``name``, or ``None`` if never set."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    def snapshot(self) -> dict:
+        """A deep-copied, JSON-ready view of every metric.
+
+        Histogram entries gain a derived ``mean``; empty min/max become
+        ``None`` so the snapshot serializes cleanly.
+        """
+        with self._lock:
+            hists = {}
+            for name, hist in self._hists.items():
+                count = hist["count"]
+                hists[name] = {
+                    "count": count,
+                    "sum": hist["sum"],
+                    "min": hist["min"] if count else None,
+                    "max": hist["max"] if count else None,
+                    "mean": (hist["sum"] / count) if count else None,
+                    "buckets": dict(hist["buckets"]),
+                }
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": hists,
+            }
+
+    def reset(self) -> None:
+        """Drop every recorded metric."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install (and return) a fresh process-wide :class:`MetricsRegistry`."""
+    global _registry
+    registry = MetricsRegistry()
+    with _state_lock:
+        _registry = registry
+    return registry
+
+
+def disable_metrics() -> MetricsRegistry | None:
+    """Uninstall the process-wide registry; returns it for inspection."""
+    global _registry
+    with _state_lock:
+        registry, _registry = _registry, None
+    return registry
+
+
+def get_metrics() -> MetricsRegistry | None:
+    """The installed registry, or ``None`` when metrics are off."""
+    return _registry
+
+
+def inc(name: str, value: float = 1.0) -> None:
+    """Increment a counter on the installed registry — or do nothing."""
+    registry = _registry
+    if registry is not None:
+        registry.inc(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the installed registry — or do nothing."""
+    registry = _registry
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the installed registry — or do nothing."""
+    registry = _registry
+    if registry is not None:
+        registry.observe(name, value)

@@ -1,0 +1,79 @@
+"""Profiling hooks: observe the live pipeline span-by-span.
+
+An observer is any object with ``on_span_start(span)`` and
+``on_span_end(span)`` methods (subclass :class:`SpanObserver` for the
+no-op defaults).  Observers fire synchronously on the thread that opened
+the span, *only while a tracer is installed* — with tracing disabled no
+spans exist, so registered observers cost nothing.
+
+This is the mechanism the perf benchmarks and the fault-injection test
+suite use to watch stage progress without polling: e.g. a benchmark can
+record live ``stage.*`` completions, and a chaos test can assert that a
+killed stage's span carries the injected error attribute.
+
+Observer exceptions propagate to the instrumented call site by design —
+an observer is test/benchmark harness code, and swallowing its assertion
+errors would defeat the point.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "SpanObserver",
+    "add_span_observer",
+    "clear_span_observers",
+    "notify_span_end",
+    "notify_span_start",
+    "remove_span_observer",
+]
+
+# Module-state discipline (see repro.devtools.registry): the observer
+# tuple is immutable and replaced whole under _observers_lock; the notify
+# hot path reads it with one atomic load and iterates lock-free.
+_observers_lock = threading.Lock()
+_observers: tuple = ()
+
+
+class SpanObserver:
+    """Base class for span observers; both callbacks default to no-ops."""
+
+    def on_span_start(self, span) -> None:
+        """Called right after ``span`` is opened (before its body runs)."""
+
+    def on_span_end(self, span) -> None:
+        """Called right after ``span`` is finished (end time already set)."""
+
+
+def add_span_observer(observer) -> None:
+    """Register ``observer`` for every subsequent span start/end."""
+    global _observers
+    with _observers_lock:
+        _observers = (*_observers, observer)
+
+
+def remove_span_observer(observer) -> None:
+    """Unregister ``observer`` (no-op if it was never registered)."""
+    global _observers
+    with _observers_lock:
+        _observers = tuple(o for o in _observers if o is not observer)
+
+
+def clear_span_observers() -> None:
+    """Unregister every observer (test teardown helper)."""
+    global _observers
+    with _observers_lock:
+        _observers = ()
+
+
+def notify_span_start(span) -> None:
+    """Fan a span-start event out to the registered observers."""
+    for observer in _observers:
+        observer.on_span_start(span)
+
+
+def notify_span_end(span) -> None:
+    """Fan a span-end event out to the registered observers."""
+    for observer in _observers:
+        observer.on_span_end(span)

@@ -1,0 +1,124 @@
+"""Trace post-processing: the ``repro trace summarize`` table.
+
+Consumes the Chrome trace-event JSON written by ``repro explain --trace``
+(or any :meth:`~repro.obs.trace.Tracer.to_chrome_trace` payload) and
+renders a per-stage time/percentage table plus the span coverage of the
+end-to-end ``explain`` span — the number the acceptance gate checks
+(spans must account for >=95% of wall time).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_trace", "stage_totals", "summarize_trace", "trace_coverage"]
+
+#: Root span name of one full pipeline run.
+ROOT_SPAN = "explain"
+
+
+def load_trace(path) -> dict:
+    """Read a Chrome trace-event JSON file written by ``--trace``."""
+    return json.loads(Path(path).read_text())
+
+
+def _events(payload: dict) -> list[dict]:
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("not a Chrome trace payload: missing 'traceEvents'")
+    return events
+
+
+def _is_stage_leaf(name: str) -> bool:
+    """Top-level pipeline phases: ``stage.<name>`` (not attempt children)
+    plus the trailing ``fidelity`` scoring span."""
+    if name == "fidelity":
+        return True
+    return (
+        name.startswith("stage.") and ".attempt" not in name
+    )
+
+
+def stage_totals(payload: dict) -> dict[str, dict]:
+    """Aggregate per-name totals of the pipeline-phase events.
+
+    Returns ``{name: {"count": int, "seconds": float}}`` over the
+    ``stage.*`` spans and ``fidelity``, in first-appearance order.
+    """
+    totals: dict[str, dict] = {}
+    for event in _events(payload):
+        name = event.get("name", "")
+        if not _is_stage_leaf(name):
+            continue
+        entry = totals.setdefault(name, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += float(event.get("dur", 0.0)) / 1e6
+    return totals
+
+
+def trace_coverage(payload: dict) -> float:
+    """Fraction of the ``explain`` span covered by its pipeline phases.
+
+    1.0 means every end-to-end second is attributed to a named stage;
+    returns 0.0 when the trace has no ``explain`` root span.
+    """
+    root = [
+        e for e in _events(payload) if e.get("name") == ROOT_SPAN
+    ]
+    if not root:
+        return 0.0
+    total = sum(float(e.get("dur", 0.0)) for e in root) / 1e6
+    if total <= 0.0:
+        return 0.0
+    covered = sum(entry["seconds"] for entry in stage_totals(payload).values())
+    return min(covered / total, 1.0)
+
+
+def summarize_trace(payload: dict) -> str:
+    """Render the per-stage time/percentage table of one trace.
+
+    The table lists every pipeline phase with its span count, total
+    seconds and share of the end-to-end ``explain`` time, followed by the
+    coverage line and (when the trace embeds a metrics snapshot under
+    ``otherData``) the non-zero counters.
+    """
+    events = _events(payload)
+    root = [e for e in events if e.get("name") == ROOT_SPAN]
+    total = sum(float(e.get("dur", 0.0)) for e in root) / 1e6
+    totals = stage_totals(payload)
+
+    lines = []
+    lines.append(f"{'stage':<22}{'spans':>7}{'seconds':>12}{'share':>9}")
+    lines.append("-" * 50)
+    if root:
+        lines.append(
+            f"{ROOT_SPAN:<22}{len(root):>7}{total:>12.4f}{'100.0%':>9}"
+        )
+    for name, entry in sorted(
+        totals.items(), key=lambda item: -item[1]["seconds"]
+    ):
+        share = (entry["seconds"] / total * 100.0) if total > 0.0 else 0.0
+        lines.append(
+            f"{name:<22}{entry['count']:>7}{entry['seconds']:>12.4f}"
+            f"{share:>8.1f}%"
+        )
+    lines.append("-" * 50)
+    coverage = trace_coverage(payload)
+    lines.append(
+        f"span coverage of end-to-end wall time: {coverage * 100.0:.1f}% "
+        f"({len(events)} spans total)"
+    )
+
+    counters = (
+        payload.get("otherData", {}).get("metrics", {}).get("counters", {})
+    )
+    nonzero = {k: v for k, v in counters.items() if v}
+    if nonzero:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(nonzero):
+            value = nonzero[name]
+            rendered = f"{value:g}"
+            lines.append(f"  {name:<28}{rendered:>12}")
+    return "\n".join(lines)

@@ -153,7 +153,7 @@ class TestReporters:
 
 
 class TestRuleCatalog:
-    def test_catalog_names_all_nine_rules(self):
+    def test_catalog_names_all_ten_rules(self):
         ids = {rule_id for rule_id, _, _ in rule_catalog()}
         assert ids == {
             "rng-global-state",
@@ -165,6 +165,7 @@ class TestRuleCatalog:
             "undocumented-public",
             "shadowed-builtin",
             "raise-outside-taxonomy",
+            "adhoc-timing",
         }
 
     def test_catalog_severities_valid(self):

@@ -432,3 +432,86 @@ class TestRaiseOutsideTaxonomy:
             """,
         )
         assert "raise-outside-taxonomy" not in rule_ids(findings)
+
+
+class TestAdhocTiming:
+    def lint_pipeline_module(self, tmp_path, source, rel="repro/core/tuning.py"):
+        """Lint a snippet at a pipeline (or exempt) module path."""
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for parent in path.parents:
+            if parent == tmp_path:
+                break
+            (parent / "__init__.py").write_text("")
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_file(path, default_rules())
+
+    def test_flags_perf_counter_attribute(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """,
+        )
+        assert "adhoc-timing" in rule_ids(findings)
+
+    def test_flags_monotonic_from_import(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            from time import monotonic
+            """,
+        )
+        assert "adhoc-timing" in rule_ids(findings)
+
+    def test_time_sleep_is_fine(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                time.sleep(0.1)
+            """,
+        )
+        assert "adhoc-timing" not in rule_ids(findings)
+
+    def test_obs_module_exempt(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            import time
+
+            def now():
+                return time.perf_counter()
+            """,
+            rel="repro/obs/trace.py",
+        )
+        assert "adhoc-timing" not in rule_ids(findings)
+
+    def test_non_pipeline_module_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.monotonic()
+            """,
+        )
+        assert "adhoc-timing" not in rule_ids(findings)
+
+    def test_waiver_pragma_suppresses(self, tmp_path):
+        findings = self.lint_pipeline_module(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.perf_counter()  # repro: allow(adhoc-timing)
+            """,
+        )
+        assert "adhoc-timing" not in rule_ids(findings)

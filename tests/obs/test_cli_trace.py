@@ -1,0 +1,100 @@
+"""CLI round-trip: ``explain --trace`` then ``trace summarize``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.forest import save_forest
+from repro.obs import get_metrics, get_tracer, validate_chrome_trace
+from repro.obs.summary import trace_coverage
+
+
+@pytest.fixture(scope="module")
+def model_path(small_forest, tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs_cli") / "model.json"
+    save_forest(small_forest, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def trace_path(model_path, tmp_path_factory):
+    """Run one traced explain through the CLI; return the trace file."""
+    path = tmp_path_factory.mktemp("obs_cli_trace") / "trace.json"
+    code = main([
+        "explain", str(model_path),
+        "--splines", "3", "--samples", "2000", "--k", "40",
+        "--trace", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestExplainTrace:
+    def test_trace_file_is_valid_chrome_trace(self, trace_path):
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) > 0
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_trace_covers_wall_time(self, trace_path):
+        payload = json.loads(trace_path.read_text())
+        assert trace_coverage(payload) >= 0.95
+
+    def test_metrics_snapshot_embedded(self, trace_path):
+        payload = json.loads(trace_path.read_text())
+        counters = payload["otherData"]["metrics"]["counters"]
+        assert counters["predict.rows"] > 0
+        assert counters["fit.gcv_candidates"] > 0
+
+    def test_tracing_disabled_after_run(self, trace_path):
+        # the CLI must uninstall the tracer/registry in its finally block
+        assert get_tracer() is None
+        assert get_metrics() is None
+
+    def test_hint_printed(self, model_path, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        main([
+            "explain", str(model_path),
+            "--splines", "3", "--samples", "2000", "--k", "40",
+            "--trace", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "trace summarize" in out
+
+    def test_untraced_explain_writes_no_trace(self, model_path, tmp_path):
+        code = main([
+            "explain", str(model_path),
+            "--splines", "3", "--samples", "2000", "--k", "40",
+        ])
+        assert code == 0
+        assert not list(tmp_path.iterdir())
+
+
+class TestTraceSummarize:
+    def test_table_printed(self, trace_path, capsys):
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "share" in out
+        assert "explain" in out
+        assert "stage.fit" in out
+        assert "span coverage of end-to-end wall time" in out
+        assert "counters:" in out
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        code = main(["trace", "summarize", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_malformed_payload_is_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"name": "x"}]}))
+        code = main(["trace", "summarize", str(bad)])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_summarize_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])

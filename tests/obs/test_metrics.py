@@ -1,0 +1,151 @@
+"""Metrics registry: values, snapshots, concurrency, disabled no-ops."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    inc,
+    observe,
+    set_gauge,
+)
+
+
+class TestCounters:
+    def test_default_increment_is_one(self):
+        reg = MetricsRegistry()
+        reg.inc("predict.rows")
+        reg.inc("predict.rows")
+        assert reg.counter("predict.rows") == 2.0
+
+    def test_increment_with_value(self):
+        reg = MetricsRegistry()
+        reg.inc("predict.rows", 4000)
+        reg.inc("predict.rows", 500)
+        assert reg.counter("predict.rows") == 4500.0
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never.touched") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("degrade.rung", 1)
+        reg.set_gauge("degrade.rung", 3)
+        assert reg.gauge("degrade.rung") == 3.0
+
+    def test_missing_gauge_is_none(self):
+        assert MetricsRegistry().gauge("never.set") is None
+
+
+class TestHistograms:
+    def test_count_sum_min_max_mean(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 2.0, 8.0):
+            reg.observe("pack.seconds", v)
+        hist = reg.snapshot()["histograms"]["pack.seconds"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(10.5)
+        assert hist["min"] == pytest.approx(0.5)
+        assert hist["max"] == pytest.approx(8.0)
+        assert hist["mean"] == pytest.approx(3.5)
+
+    def test_log2_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 0.3)   # 2^ceil(log2(0.3)) = 2^-1
+        reg.observe("h", 3.0)   # 2^2
+        reg.observe("h", 4.0)   # 2^2 (exact power)
+        reg.observe("h", 0.0)   # <=0 bucket
+        buckets = reg.snapshot()["histograms"]["h"]["buckets"]
+        assert buckets == {"2^-1": 1, "2^2": 2, "<=0": 1}
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        snap = reg.snapshot()
+        snap["histograms"]["h"]["buckets"]["2^0"] = 99
+        assert reg.snapshot()["histograms"]["h"]["buckets"]["2^0"] == 1
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 7)
+        reg.observe("h", 1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert set(snap["histograms"]) == {"h"}
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestConcurrency:
+    def test_threaded_increments_are_exact(self):
+        reg = MetricsRegistry()
+        n_threads, n_incs = 8, 1000
+
+        def hammer():
+            for _ in range(n_incs):
+                reg.inc("hits")
+                reg.observe("lat", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits") == float(n_threads * n_incs)
+        assert reg.snapshot()["histograms"]["lat"]["count"] == n_threads * n_incs
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_are_noops(self):
+        assert get_metrics() is None
+        inc("a")
+        set_gauge("b", 1)
+        observe("c", 1.0)
+        # still nothing installed, nothing raised
+        assert get_metrics() is None
+
+    def test_enabled_helpers_route_to_registry(self):
+        reg = enable_metrics()
+        assert get_metrics() is reg
+        inc("a", 3)
+        set_gauge("b", 2)
+        observe("c", 4.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 3.0}
+        assert snap["gauges"] == {"b": 2.0}
+        assert snap["histograms"]["c"]["count"] == 1
+
+    def test_enable_installs_fresh_registry(self):
+        first = enable_metrics()
+        first.inc("a")
+        second = enable_metrics()
+        assert second is not first
+        assert second.counter("a") == 0.0
+
+    def test_disable_returns_registry_for_inspection(self):
+        reg = enable_metrics()
+        inc("kept", 5)
+        returned = disable_metrics()
+        assert returned is reg
+        assert returned.counter("kept") == 5.0
+        assert get_metrics() is None

@@ -1,0 +1,66 @@
+"""Tier-2 perf smoke: micro-batching vs batch-size-1 serving throughput.
+
+Drives the in-process serving stack with 16 deterministic closed-loop
+clients against two otherwise identical configurations — ``max_batch=1``
+(no coalescing) and micro-batching — and writes the ``BENCH_serve.json``
+trajectory artifact at the repo root.  The run *fails* if micro-batching
+is not at least 2x the baseline's throughput, if any request errors, or
+if the artifact violates its own schema — pinning the serving subsystem's
+perf claim in CI the same way ``test_perf_predict`` pins the packed
+engine's.
+
+Run with ``pytest benchmarks/test_perf_serve.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.loadgen import bench_serve, validate_bench_serve
+
+from _report import header, report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+CLIENTS = 16
+REQUESTS_PER_CLIENT = 25
+ROWS_PER_REQUEST = 4
+N_TREES = 200
+
+
+def test_perf_serve():
+    header("Serving throughput: micro-batching vs batch-size-1")
+    artifact = bench_serve(
+        clients=CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        rows_per_request=ROWS_PER_REQUEST,
+        n_trees=N_TREES,
+    )
+    validate_bench_serve(artifact)
+    (REPO_ROOT / "BENCH_serve.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    for cell in artifact["cells"]:
+        report(
+            f"{cell['name']:>10}: {cell['requests_per_sec']:>8.1f} req/s  "
+            f"p50 {cell['p50_ms']:.2f}ms  p99 {cell['p99_ms']:.2f}ms  "
+            f"ok={cell['ok']} shed={cell['shed']} errors={cell['errors']}  "
+            f"{cell['speedup_vs_batch1']:.2f}x vs batch1"
+        )
+        assert cell["errors"] == 0, f"{cell['name']}: request errors"
+        assert cell["ok"] == cell["requests"], f"{cell['name']}: lost requests"
+
+    micro = next(c for c in artifact["cells"] if c["name"] == "microbatch")
+    assert micro["speedup_vs_batch1"] >= 2.0, (
+        f"micro-batching speedup {micro['speedup_vs_batch1']}x is below the "
+        f"2x bar at {CLIENTS} concurrent clients"
+    )
+    # Coalescing actually happened: at least one flush carried >2 requests.
+    multi = {
+        key: count
+        for key, count in micro["batch_size_hist"].items()
+        if key not in ("<=0", "2^0", "2^1")
+    }
+    assert multi, f"no multi-request flushes recorded: {micro['batch_size_hist']}"

@@ -159,6 +159,54 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .core.config import GEFConfig
+    from .obs import enable_metrics
+    from .serve import ServeApp, ServeConfig, start_server
+    from .serve.http import set_server
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        batch_delay_s=args.batch_delay_ms / 1e3,
+        queue_limit=args.queue_limit,
+        request_timeout_s=args.timeout,
+        surrogate_capacity=args.surrogate_capacity,
+        gef=GEFConfig(
+            n_univariate=args.splines,
+            n_interactions=args.interactions,
+            sampling_strategy=args.strategy,
+            k_points=args.k,
+            n_samples=args.samples,
+            random_state=args.seed,
+        ),
+    )
+    enable_metrics()
+    app = ServeApp(config)
+    for path in args.models:
+        entry = app.add_model(Path(path).stem, path)
+        print(
+            f"registered {entry.model_id!r} "
+            f"(fingerprint {entry.fingerprint}, "
+            f"{entry.n_features} features) from {path}"
+        )
+    handle = start_server(app, host=args.host, port=args.port)
+    set_server(handle)
+    print(
+        f"serving {len(app.registry)} model(s) on {handle.url} "
+        f"(max_batch={config.max_batch}, "
+        f"queue_limit={config.queue_limit}); Ctrl-C to drain and stop"
+    )
+    try:
+        handle.thread.join()
+    except KeyboardInterrupt:
+        print("\ndraining...", file=sys.stderr)
+    finally:
+        from .serve.http import stop_server
+
+        stop_server(drain=True)
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .devtools.check import run_from_args
 
@@ -243,6 +291,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "degradation ladder")
     explain.add_argument("--verbose", action="store_true")
     explain.set_defaults(func=_cmd_explain)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve forests over HTTP: batched /predict, cached /explain",
+    )
+    serve.add_argument("models", nargs="+", metavar="MODEL_JSON",
+                       help="model JSON paths (id = file stem)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch flush size (1 disables coalescing)")
+    serve.add_argument("--batch-delay-ms", type=float, default=2.0,
+                       help="max queueing delay before a partial flush")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       help="per-model pending bound; beyond it predicts "
+                            "shed with HTTP 429")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request budget in seconds (504 beyond it)")
+    serve.add_argument("--surrogate-capacity", type=int, default=4,
+                       help="fitted GAM surrogates kept in the LRU cache")
+    serve.add_argument("--splines", type=int, default=5,
+                       help="|F'| for surrogate fits behind /explain")
+    serve.add_argument("--interactions", type=int, default=0,
+                       help="|F''| for surrogate fits")
+    serve.add_argument("--strategy", default="equi-size",
+                       choices=("all-thresholds", "k-quantile", "equi-width",
+                                "k-means", "equi-size"))
+    serve.add_argument("--k", type=int, default=200)
+    serve.add_argument("--samples", type=int, default=20_000,
+                       help="N: size of the synthetic dataset D*")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     check = sub.add_parser(
         "check", help="run the AST lint rules against the source tree"

@@ -15,7 +15,12 @@ Taxonomy::
     ├── SelectionError          F' or F'' selection failed (also a ValueError)
     ├── FitDivergenceError      PIRLS/GCV diverged or went singular
     ├── StageTimeoutError       a stage exceeded its wall-clock budget
-    └── StageFailureError       untyped crash wrapped at a stage boundary
+    ├── StageFailureError       untyped crash wrapped at a stage boundary
+    └── ServeError              serving-layer failure (repro.serve)
+        ├── BadRequestError     malformed request payload (HTTP 400)
+        ├── ModelNotFoundError  unknown model id / path (HTTP 404)
+        └── ShedError           admission control rejected the request
+                                (HTTP 429: queue depth / inflight limit)
 
 Errors that replace historical ``ValueError``s keep ``ValueError`` as a
 secondary base, so ``except ValueError`` call sites (and tests) written
@@ -34,6 +39,10 @@ __all__ = [
     "FitDivergenceError",
     "StageTimeoutError",
     "StageFailureError",
+    "ServeError",
+    "BadRequestError",
+    "ModelNotFoundError",
+    "ShedError",
 ]
 
 
@@ -93,3 +102,37 @@ class StageTimeoutError(ReproError):
 
 class StageFailureError(ReproError):
     """An untyped exception crossed a stage boundary (wrapped verbatim)."""
+
+
+class ServeError(ReproError):
+    """Base class of ``repro.serve`` failures.
+
+    The serving layer maps subclasses onto HTTP status codes; anything
+    that is a plain :class:`ServeError` (a stopped batcher, a failed
+    component) surfaces as a 500.
+    """
+
+
+class BadRequestError(ServeError, ValueError):
+    """The request payload is malformed (missing keys, wrong shapes).
+
+    Maps to HTTP 400; ``ValueError`` stays a secondary base so library
+    callers driving :class:`~repro.serve.app.ServeApp` directly can keep
+    their existing ``except ValueError`` handling.
+    """
+
+
+class ModelNotFoundError(ServeError, KeyError):
+    """No model with the requested id is registered (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that.
+        return self.args[0] if self.args else ""
+
+
+class ShedError(ServeError):
+    """Admission control rejected the request (HTTP 429).
+
+    Raised synchronously at submit time when a bounded queue is at its
+    depth limit or the server-wide inflight cap is reached — the caller
+    gets an immediate, cheap rejection instead of unbounded queueing.
+    """

@@ -1,0 +1,389 @@
+"""Deterministic closed-loop load generator for the serving subsystem.
+
+``run_load`` drives a :class:`~repro.serve.app.ServeApp` with N
+concurrent closed-loop clients (each sends its next request as soon as
+the previous one answers).  Two transports share the exact same request
+path:
+
+* ``"inproc"`` — calls ``app.handle`` directly, measuring the serving
+  stack (admission, batching, packed engine) without socket noise;
+* ``"http"`` — real ``urllib`` requests against a started server.
+
+Every client derives its rows from ``np.random.default_rng([seed, i])``,
+so a given (seed, clients, requests, rows) configuration replays the
+identical workload; latencies are measured on the pipeline clock
+(:func:`repro.obs.trace.monotonic`).
+
+``bench_serve`` packages the ISSUE benchmark: the same workload against
+a micro-batching server and a ``max_batch=1`` baseline, emitting the
+house ``BENCH_serve.json`` artifact (throughput, p50/p99 latency, shed
+rate, batch-size histogram).  ``python -m repro.devtools.loadgen`` is
+the CI smoke entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..obs.trace import monotonic
+
+__all__ = ["bench_serve", "main", "run_load", "validate_bench_serve"]
+
+
+def _http_post(url: str, payload: dict, timeout_s: float):
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status
+    except urllib.error.HTTPError as exc:
+        return exc.code
+
+
+class _Client:
+    """One closed-loop client: pre-generated payloads, recorded outcomes."""
+
+    def __init__(self, index, payloads, send, barrier):
+        self.index = index
+        self.payloads = payloads
+        self.send = send
+        self.barrier = barrier
+        self.latencies_s: list[float] = []
+        self.statuses: list[int] = []
+        self.thread = threading.Thread(
+            target=self._run, name=f"repro-loadgen-{index}", daemon=True
+        )
+
+    def _run(self):
+        self.barrier.wait()
+        for payload in self.payloads:
+            start = monotonic()
+            try:
+                status = self.send(payload)
+            except Exception:  # repro: allow(broad-except) a transport fault is one failed request, not a dead client
+                status = -1
+            self.latencies_s.append(monotonic() - start)
+            self.statuses.append(status)
+
+
+def _batch_size_hist(before: dict, after: dict) -> dict[str, int]:
+    """Per-bucket delta of the ``serve.batch_size`` histogram."""
+    b = before.get("histograms", {}).get("serve.batch_size", {}).get("buckets", {})
+    a = after.get("histograms", {}).get("serve.batch_size", {}).get("buckets", {})
+    return {
+        key: int(a.get(key, 0)) - int(b.get(key, 0))
+        for key in sorted(set(a) | set(b))
+        if a.get(key, 0) != b.get(key, 0)
+    }
+
+
+def run_load(
+    target,
+    *,
+    model_id: str | None = None,
+    clients: int = 16,
+    requests_per_client: int = 25,
+    rows_per_request: int = 4,
+    n_features: int | None = None,
+    seed: int = 0,
+    transport: str = "inproc",
+    timeout_s: float = 60.0,
+) -> dict:
+    """Drive ``target`` with a deterministic closed-loop workload.
+
+    ``target`` is a :class:`~repro.serve.app.ServeApp` for the
+    ``"inproc"`` transport or a base URL string for ``"http"`` (which
+    then requires ``n_features``).  Returns a JSON-ready result cell.
+    """
+    if transport not in ("inproc", "http"):
+        raise ValueError(f"unknown transport {transport!r}")
+    if transport == "inproc":
+        app = target
+        if model_id is None:
+            ids = app.registry.ids()
+            if len(ids) != 1:
+                raise ValueError(f"pass model_id (registered: {ids})")
+            model_id = ids[0]
+        if n_features is None:
+            n_features = app.registry.get(model_id).n_features
+
+        def send(payload):
+            return app.handle(
+                "POST", "/predict", json.dumps(payload).encode("utf-8")
+            ).status
+
+    else:
+        if n_features is None:
+            raise ValueError("the http transport needs n_features")
+        url = str(target).rstrip("/") + "/predict"
+
+        def send(payload):
+            return _http_post(url, payload, timeout_s)
+
+    barrier = threading.Barrier(clients + 1)
+    pool = []
+    for i in range(clients):
+        rng = np.random.default_rng([seed, i])
+        payloads = [
+            {
+                "model": model_id,
+                "rows": rng.standard_normal(
+                    (rows_per_request, n_features)
+                ).tolist(),
+            }
+            for _ in range(requests_per_client)
+        ]
+        pool.append(_Client(i, payloads, send, barrier))
+    registry = obs_metrics.get_metrics()
+    before = registry.snapshot() if registry is not None else {}
+    for client in pool:
+        client.thread.start()
+    barrier.wait()
+    started = monotonic()
+    for client in pool:
+        client.thread.join(timeout_s)
+    seconds = monotonic() - started
+    after = registry.snapshot() if registry is not None else {}
+
+    statuses = [s for client in pool for s in client.statuses]
+    latencies = np.asarray(
+        [lat for client in pool for lat in client.latencies_s], dtype=float
+    )
+    ok = sum(1 for s in statuses if s == 200)
+    shed = sum(1 for s in statuses if s == 429)
+    errors = len(statuses) - ok - shed
+    total = clients * requests_per_client
+    return {
+        "transport": transport,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "rows_per_request": rows_per_request,
+        "seed": seed,
+        "requests": total,
+        "ok": ok,
+        "shed": shed,
+        "errors": errors,
+        "seconds": round(float(seconds), 4),
+        "requests_per_sec": round(ok / seconds, 1) if seconds > 0 else 0.0,
+        "rows_per_sec": (
+            round(ok * rows_per_request / seconds, 1) if seconds > 0 else 0.0
+        ),
+        "p50_ms": (
+            round(float(np.percentile(latencies, 50)) * 1e3, 3)
+            if latencies.size
+            else None
+        ),
+        "p99_ms": (
+            round(float(np.percentile(latencies, 99)) * 1e3, 3)
+            if latencies.size
+            else None
+        ),
+        "batch_size_hist": _batch_size_hist(before, after),
+    }
+
+
+# ----------------------------------------------------------------------
+# the serve benchmark
+# ----------------------------------------------------------------------
+def _train_bench_forest(n_trees: int, n_features: int, seed: int):
+    from ..forest import GradientBoostingRegressor
+
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((3_000, n_features))
+    y = (
+        X[:, 0] * 2
+        + np.sin(3 * X[:, 1])
+        + X[:, 2] * X[:, 3]
+        + 0.1 * rng.standard_normal(3_000)
+    )
+    model = GradientBoostingRegressor(
+        n_estimators=n_trees,
+        num_leaves=31,
+        learning_rate=0.1,
+        random_state=seed,
+    )
+    model.fit(X, y)
+    return model
+
+
+def bench_serve(
+    *,
+    clients: int = 16,
+    requests_per_client: int = 25,
+    rows_per_request: int = 4,
+    n_trees: int = 200,
+    n_features: int = 12,
+    seed: int = 0,
+) -> dict:
+    """Micro-batching vs batch-size-1 on the identical closed-loop workload.
+
+    Returns the house-format ``BENCH_serve.json`` artifact.  The two
+    configurations differ only in ``max_batch``; the forest, the clients
+    and every generated row are the same, so the throughput ratio
+    isolates request coalescing.
+    """
+    from ..serve import ServeApp, ServeConfig
+
+    model = _train_bench_forest(n_trees, n_features, seed)
+    had_metrics = obs_metrics.get_metrics() is not None
+    if not had_metrics:
+        obs_metrics.enable_metrics()
+    cells = []
+    try:
+        for name, max_batch in (("batch1", 1), ("microbatch", 2 * clients)):
+            app = ServeApp(
+                ServeConfig(
+                    max_batch=max_batch,
+                    batch_delay_s=0.001,
+                    queue_limit=max(256, 4 * clients * requests_per_client),
+                )
+            )
+            app.add_model("bench", model)
+            # One throwaway round warms the packed engine and the JSON
+            # path so neither cell pays first-call costs.
+            run_load(
+                app,
+                clients=clients,
+                requests_per_client=2,
+                rows_per_request=rows_per_request,
+                seed=seed + 1,
+            )
+            cell = run_load(
+                app,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                rows_per_request=rows_per_request,
+                seed=seed,
+            )
+            cell["name"] = name
+            cell["max_batch"] = max_batch
+            cells.append(cell)
+            app.close(drain=True)
+    finally:
+        if not had_metrics:
+            obs_metrics.disable_metrics()
+    baseline = next(c for c in cells if c["name"] == "batch1")
+    for cell in cells:
+        cell["speedup_vs_batch1"] = (
+            round(cell["requests_per_sec"] / baseline["requests_per_sec"], 2)
+            if baseline["requests_per_sec"]
+            else None
+        )
+    return {
+        "benchmark": "serve",
+        "forest": {
+            "n_trees": n_trees,
+            "num_leaves": 31,
+            "n_features": n_features,
+            "seed": seed,
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cells": cells,
+    }
+
+
+_CELL_REQUIRED = (
+    "name",
+    "max_batch",
+    "transport",
+    "clients",
+    "requests",
+    "ok",
+    "shed",
+    "errors",
+    "seconds",
+    "requests_per_sec",
+    "p50_ms",
+    "p99_ms",
+    "batch_size_hist",
+    "speedup_vs_batch1",
+)
+
+
+def validate_bench_serve(payload: dict) -> int:
+    """Schema check for ``BENCH_serve.json``; returns the cell count.
+
+    Raises ``ValueError`` on the first violation — the CI gate that keeps
+    the artifact machine-readable across refactors.
+    """
+    if payload.get("benchmark") != "serve":
+        raise ValueError("benchmark key must be 'serve'")
+    for key in ("forest", "python", "numpy", "cells"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    cells = payload["cells"]
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("cells must be a non-empty list")
+    names = set()
+    for cell in cells:
+        for key in _CELL_REQUIRED:
+            if key not in cell:
+                raise ValueError(f"cell missing key {key!r}: {cell}")
+        if cell["ok"] + cell["shed"] + cell["errors"] != cell["requests"]:
+            raise ValueError(f"cell outcomes do not sum to requests: {cell}")
+        if not isinstance(cell["batch_size_hist"], dict):
+            raise ValueError("batch_size_hist must be a dict")
+        names.add(cell["name"])
+    if "batch1" not in names:
+        raise ValueError("cells must include the 'batch1' baseline")
+    return len(cells)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI smoke: run the serve benchmark, write and validate the artifact."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.loadgen",
+        description="closed-loop load generator / serve benchmark",
+    )
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=25)
+    parser.add_argument("--rows", type=int, default=4)
+    parser.add_argument("--trees", type=int, default=200)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
+    args = parser.parse_args(argv)
+
+    artifact = bench_serve(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        rows_per_request=args.rows,
+        n_trees=args.trees,
+    )
+    validate_bench_serve(artifact)
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    failures = []
+    for cell in artifact["cells"]:
+        print(
+            f"{cell['name']:>10}: {cell['requests_per_sec']:>8.1f} req/s  "
+            f"p50 {cell['p50_ms']:.2f}ms  p99 {cell['p99_ms']:.2f}ms  "
+            f"ok={cell['ok']} shed={cell['shed']} errors={cell['errors']}  "
+            f"speedup {cell['speedup_vs_batch1']}x"
+        )
+        if cell["requests_per_sec"] <= 0:
+            failures.append(f"{cell['name']}: zero throughput")
+        if cell["errors"]:
+            failures.append(f"{cell['name']}: {cell['errors']} errors")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

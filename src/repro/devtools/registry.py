@@ -42,6 +42,12 @@ THREAD_SAFETY_REGISTRY: dict[tuple[str, str], str] = {
     ("repro.obs.trace", "_synthetic_offset"): "lock:_state_lock",
     ("repro.obs.metrics", "_registry"): "lock:_state_lock",
     ("repro.obs.profile", "_observers"): "lock:_observers_lock",
+    # repro.serve.http — the process-wide server handle installed by the
+    # `repro serve` CLI, swapped whole under http._state_lock.  All other
+    # serving state (registry map, batcher queues, surrogate LRU,
+    # admission counters) is instance state behind per-instance locks or
+    # condition variables and therefore never appears in this registry.
+    ("repro.serve.http", "_server"): "lock:_state_lock",
     # Name -> class registries: built by a dict display at import, read-only
     # afterwards.
     ("repro.gam.links", "_LINKS"): "frozen-after-import",

@@ -443,6 +443,11 @@ class RaiseOutsideTaxonomyRule(LintRule):
             "repro.core.sampling",
             "repro.core.stages",
             "repro.core.validate",
+            "repro.serve.admission",
+            "repro.serve.app",
+            "repro.serve.batcher",
+            "repro.serve.registry",
+            "repro.serve.surrogate",
         }
     )
 
@@ -483,7 +488,12 @@ class AdhocTimingRule(LintRule):
     #: Module prefixes forming the instrumented pipeline.  ``repro.obs``
     #: itself is the timing authority and exempt; devtools, cli and the
     #: xai baselines are harness code outside the traced pipeline.
-    _PIPELINE_PREFIXES = ("repro.core.", "repro.gam.", "repro.forest.")
+    _PIPELINE_PREFIXES = (
+        "repro.core.",
+        "repro.gam.",
+        "repro.forest.",
+        "repro.serve.",
+    )
 
     _BANNED = frozenset(
         {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}

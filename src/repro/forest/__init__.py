@@ -29,6 +29,7 @@ from .model_io import (
 )
 from .packed import (
     PackedForest,
+    forest_fingerprint,
     get_default_n_jobs,
     get_prediction_engine,
     invalidate_packed,
@@ -57,6 +58,7 @@ __all__ = [
     "TreeGrowerParams",
     "cross_val_score",
     "dump_tree",
+    "forest_fingerprint",
     "forest_from_dict",
     "forest_summary",
     "forest_to_dict",

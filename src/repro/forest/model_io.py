@@ -9,6 +9,8 @@ leaf values, covers, init score) and nothing else.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -56,10 +58,35 @@ def forest_from_dict(data: dict):
 
 
 def save_forest(model, path: str | Path) -> None:
-    """Write a fitted forest to a JSON file."""
+    """Write a fitted forest to a JSON file, atomically.
+
+    The payload goes to a temporary file in the destination directory
+    and is moved into place with ``os.replace``, so a concurrent reader
+    (e.g. a serving process hot-reloading the model) observes either the
+    complete old file or the complete new one — never a torn JSON.
+    """
     path = Path(path)
-    with path.open("w") as f:
-        json.dump(forest_to_dict(model), f)
+    payload = json.dumps(forest_to_dict(model))
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        # mkstemp creates 0600 files; widen to what a plain open() would
+        # have produced so the hand-off artifact stays shareable.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_forest(path: str | Path):

@@ -61,6 +61,7 @@ from .tree import LEAF, Tree
 
 __all__ = [
     "PackedForest",
+    "forest_fingerprint",
     "get_default_n_jobs",
     "get_prediction_engine",
     "invalidate_packed",
@@ -123,6 +124,20 @@ def _forest_fingerprint(trees: list[Tree], init_score: float) -> int:
         for arr in (tree.feature, tree.threshold, tree.left, tree.right, tree.value):
             h = zlib.crc32(np.ascontiguousarray(arr), h)
     return h
+
+
+def forest_fingerprint(model) -> int:
+    """The packed-engine structural fingerprint of a fitted forest.
+
+    Covers everything prediction depends on (tree structure, thresholds,
+    leaf values, init score), so two forests with equal fingerprints are
+    interchangeable for serving.  The model registry and surrogate cache
+    in :mod:`repro.serve` key on this value.
+    """
+    trees = getattr(model, "trees_", None)
+    if not trees:
+        raise ValueError("model is not fitted")
+    return _forest_fingerprint(trees, model.init_score_)
 
 
 def _bfs_order(tree: Tree) -> np.ndarray:

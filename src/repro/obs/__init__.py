@@ -31,6 +31,8 @@ from .metrics import (
     inc,
     observe,
     set_gauge,
+    to_prometheus,
+    validate_prometheus_text,
 )
 from .profile import (
     SpanObserver,
@@ -73,5 +75,7 @@ __all__ = [
     "set_gauge",
     "span",
     "summarize_trace",
+    "to_prometheus",
     "validate_chrome_trace",
+    "validate_prometheus_text",
 ]

@@ -17,15 +17,32 @@ are flat dotted strings following the site that owns them::
     fit.gcv_candidates      counter   lambda candidates scored by GCV
     fit.rung_descents       counter   degradation-ladder rungs descended
     degrade.rung            gauge     deepest ladder rung index reached
+    serve.requests          counter   HTTP requests handled (plus a
+                                      serve.requests.<endpoint> breakdown)
+    serve.batch_size        histogram requests coalesced per predict flush
+    serve.batch_rows        histogram rows evaluated per predict flush
+    serve.latency_s         histogram request wall time (pipeline clock)
+    serve.shed              counter   requests rejected by admission control
+    surrogate.hits          counter   explanation queries served from Γ cache
+    surrogate.misses        counter   queries that found no cached Γ
+    surrogate.fits          counter   GAM surrogate fits actually run
+                                      (singleflight: one per fingerprint)
+    surrogate.evictions     counter   cached Γ dropped by LRU capacity
 
 All registry mutation happens under one internal lock; increments are
 exact under concurrency (the threaded test hammers one counter from
 eight threads and asserts the total).
+
+:func:`to_prometheus` renders a snapshot in the Prometheus plain-text
+exposition format (the ``/metrics`` endpoint of ``repro serve``);
+:func:`validate_prometheus_text` is its schema check, mirroring
+:func:`repro.obs.trace.validate_chrome_trace`.
 """
 
 from __future__ import annotations
 
 import math
+import re
 import threading
 
 __all__ = [
@@ -36,6 +53,8 @@ __all__ = [
     "inc",
     "observe",
     "set_gauge",
+    "to_prometheus",
+    "validate_prometheus_text",
 ]
 
 # Module-state discipline (see repro.devtools.registry): writes to the
@@ -176,3 +195,147 @@ def observe(name: str, value: float) -> None:
     registry = _registry
     if registry is not None:
         registry.observe(name, value)
+
+
+# ----------------------------------------------------------------------
+# Prometheus plain-text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """A metric name sanitized to the Prometheus grammar."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _bucket_upper_bound(key: str) -> float:
+    """The inclusive upper bound of a log2 histogram bucket key."""
+    if key == "<=0":
+        return 0.0
+    if key.startswith("2^"):
+        return float(2.0 ** int(key[2:]))
+    raise ValueError(f"unknown histogram bucket key {key!r}")
+
+
+def to_prometheus(snapshot: dict | None = None) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    ``snapshot`` defaults to the installed registry's
+    :meth:`MetricsRegistry.snapshot` (empty output when metrics are off).
+    Counters gain the conventional ``_total`` suffix; the log2 histogram
+    buckets become cumulative ``_bucket{le="..."}`` series capped by the
+    mandatory ``le="+Inf"`` bucket.  This is what the ``/metrics``
+    endpoint of ``repro serve`` returns.
+    """
+    if snapshot is None:
+        registry = _registry
+        snapshot = registry.snapshot() if registry is not None else {}
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        pname = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_prom_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_prom_value(value)}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        bounds = sorted(
+            (_bucket_upper_bound(key), count)
+            for key, count in hist.get("buckets", {}).items()
+        )
+        cumulative = 0
+        for upper, count in bounds:
+            cumulative += count
+            lines.append(
+                f'{pname}_bucket{{le="{_prom_value(upper)}"}} {cumulative}'
+            )
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{pname}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{pname}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+_PROM_TYPE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r" (?P<kind>counter|gauge|histogram)$"
+)
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Validate a Prometheus exposition payload; returns the sample count.
+
+    The structural contract scrape targets rely on: every non-comment
+    line is a well-formed sample, every sample's family carries a ``#
+    TYPE`` declaration, histogram ``_bucket`` series are cumulative and
+    end with ``le="+Inf"``, and ``_count`` equals the ``+Inf`` bucket.
+    Raises ``ValueError`` on the first violation — the schema-test mirror
+    of :func:`repro.obs.trace.validate_chrome_trace`.
+    """
+    declared: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    n_samples = 0
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = _PROM_TYPE.match(line)
+            if match is None:
+                raise ValueError(f"line {i}: malformed comment {line!r}")
+            declared[match.group("name")] = match.group("kind")
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {i}: malformed sample {line!r}")
+        n_samples += 1
+        name = match.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+        if family not in declared:
+            raise ValueError(f"line {i}: sample {name!r} has no # TYPE")
+        if name.endswith("_bucket") and declared.get(family) == "histogram":
+            labels = match.group("labels") or ""
+            le_match = re.match(r'^le="([^"]+)"$', labels)
+            if le_match is None:
+                raise ValueError(
+                    f"line {i}: histogram bucket without an le label"
+                )
+            le_text = le_match.group(1)
+            upper = math.inf if le_text == "+Inf" else float(le_text)
+            buckets.setdefault(family, []).append(
+                (upper, float(match.group("value")))
+            )
+        if name.endswith("_count") and declared.get(family) == "histogram":
+            counts[family] = float(match.group("value"))
+    for family, series in buckets.items():
+        uppers = [u for u, _ in series]
+        values = [v for _, v in series]
+        if uppers != sorted(uppers):
+            raise ValueError(f"{family}: bucket bounds not ascending")
+        if values != sorted(values):
+            raise ValueError(f"{family}: bucket counts not cumulative")
+        if not series or not math.isinf(series[-1][0]):
+            raise ValueError(f"{family}: missing le=\"+Inf\" bucket")
+        if family in counts and counts[family] != series[-1][1]:
+            raise ValueError(
+                f"{family}: _count {counts[family]} disagrees with the "
+                f"+Inf bucket {series[-1][1]}"
+            )
+    return n_samples

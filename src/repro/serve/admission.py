@@ -1,0 +1,140 @@
+"""Admission control: bounded inflight work, request budgets, drain.
+
+The serving layer never queues unboundedly.  Every request passes the
+server-wide :class:`AdmissionController` (a counted inflight cap) before
+touching a model, and the per-model micro-batcher enforces its own queue
+depth limit on top.  Both reject *synchronously* with
+:class:`~repro.core.errors.ShedError` — mapped to HTTP 429 — so an
+overloaded server answers cheaply instead of collapsing under latent
+work (and the shed count is deterministic at a fixed queue depth, which
+the concurrency tests assert exactly).
+
+Per-request budgets reuse the PR-3 stage-budget machinery: a
+:class:`Deadline` measures elapsed time on the pipeline clock
+(:func:`repro.obs.trace.monotonic`) and raises
+:class:`~repro.core.errors.StageTimeoutError` — the same typed error the
+stage runner uses — when the budget is exhausted, so synthetic
+fault-injection stalls charge against request deadlines deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.errors import ShedError, StageTimeoutError
+from ..obs.metrics import inc as metric_inc
+from ..obs.trace import monotonic
+
+__all__ = ["AdmissionController", "Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget for one request, on the pipeline clock.
+
+    ``budget_s=None`` means unbounded: :meth:`remaining` returns ``None``
+    and :meth:`check` never raises.
+    """
+
+    __slots__ = ("budget_s", "started_s")
+
+    def __init__(self, budget_s: float | None):
+        self.budget_s = None if budget_s is None else float(budget_s)
+        self.started_s = monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created (pipeline clock)."""
+        return monotonic() - self.started_s
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget, or ``None`` when unbounded."""
+        if self.budget_s is None:
+            return None
+        return self.budget_s - self.elapsed()
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`StageTimeoutError` if the budget is exhausted."""
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0.0:
+            raise StageTimeoutError(
+                f"request exceeded its {self.budget_s:g}s budget "
+                f"(elapsed {self.elapsed():.3f}s)",
+                stage=stage,
+            )
+
+
+class _Admit:
+    """Context manager pairing acquire/release on the controller."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: "AdmissionController"):
+        self._controller = controller
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._controller.release()
+        return False
+
+
+class AdmissionController:
+    """A counted cap on concurrently admitted requests.
+
+    ``admit()`` raises :class:`ShedError` (and bumps the ``serve.shed``
+    counter) when ``max_inflight`` requests are already in flight;
+    otherwise it returns a context manager that releases the slot on
+    exit.  :meth:`drain` blocks until every admitted request has
+    finished — the graceful-shutdown barrier.
+    """
+
+    def __init__(self, max_inflight: int = 1024):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")  # repro: allow(raise-outside-taxonomy) harness misuse, not a request failure
+        self._max_inflight = int(max_inflight)
+        self._cv = threading.Condition()
+        self._inflight = 0
+
+    @property
+    def max_inflight(self) -> int:
+        """The configured concurrent-request cap."""
+        return self._max_inflight
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._cv:
+            return self._inflight
+
+    def admit(self) -> _Admit:
+        """Claim an inflight slot or shed; use as a context manager."""
+        with self._cv:
+            if self._inflight >= self._max_inflight:
+                metric_inc("serve.shed")
+                raise ShedError(
+                    f"server at its inflight limit "
+                    f"({self._max_inflight} requests)"
+                )
+            self._inflight += 1
+        return _Admit(self)
+
+    def release(self) -> None:
+        """Return an inflight slot (called by the admit context manager)."""
+        with self._cv:
+            self._inflight = max(0, self._inflight - 1)
+            self._cv.notify_all()
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Block until no requests are in flight; ``True`` on success.
+
+        The wait wakes on every release; ``timeout_s`` bounds it (pipeline
+        clock), returning ``False`` if requests are still in flight.
+        """
+        deadline = Deadline(timeout_s)
+        with self._cv:
+            while self._inflight > 0:
+                remaining = deadline.remaining()
+                if remaining is not None and remaining <= 0.0:
+                    return False
+                self._cv.wait(remaining)
+            return True

@@ -1,0 +1,451 @@
+"""The serving application: endpoint dispatch, independent of transport.
+
+:class:`ServeApp` owns the model registry, one micro-batcher per model,
+the surrogate cache and the admission controller, and exposes a single
+``handle(method, path, body) -> Response`` entry point.  The stdlib HTTP
+layer (:mod:`repro.serve.http`) is a thin adapter over it; tests and the
+load generator can drive the app in-process through exactly the same
+dispatch path.
+
+Endpoints::
+
+    POST /predict       {"model": id?, "rows": [[...], ...]}
+                        -> forest scores via the micro-batched packed engine
+    POST /explain       {"model": id?, "instance": [...]?, "top": n?}
+                        -> global surrogate summary (+ local break-down)
+    POST /gam/predict   {"model": id?, "rows": [[...], ...]}
+                        -> cheap predictions from the cached GAM surrogate
+    POST /models        {"id": ..., "path": ...}       hot add / hot swap
+    DELETE /models/<id>                                 hot remove
+    GET  /healthz       liveness + registered models
+    GET  /metrics       Prometheus text exposition of repro.obs metrics
+
+Typed errors map onto HTTP statuses at this boundary: ``ShedError`` 429,
+``BadRequestError`` 400, ``ModelNotFoundError`` 404,
+``StageTimeoutError`` 504, any other ``ReproError`` 500.  ``/healthz``
+and ``/metrics`` bypass admission control — monitoring must keep
+answering while the server sheds load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import GEFConfig
+from ..core.errors import (
+    BadRequestError,
+    ModelNotFoundError,
+    ReproError,
+    ShedError,
+    StageTimeoutError,
+)
+from ..obs.metrics import (
+    inc as metric_inc,
+    observe as metric_observe,
+    to_prometheus,
+)
+from ..obs.trace import monotonic, span as obs_span
+from .admission import AdmissionController, Deadline
+from .batcher import MicroBatcher
+from .registry import ModelEntry, ModelRegistry
+from .surrogate import SurrogateCache
+
+__all__ = ["Response", "ServeApp", "ServeConfig"]
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class Response:
+    """One finished response: status code, body bytes, content type."""
+
+    status: int
+    body: bytes
+    content_type: str = _JSON
+
+    def json(self) -> dict:
+        """The body decoded as JSON (testing convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def text(self) -> str:
+        """The body decoded as UTF-8 (testing convenience)."""
+        return self.body.decode("utf-8")
+
+
+def _json_response(status: int, payload: dict) -> Response:
+    return Response(
+        status, (json.dumps(payload) + "\n").encode("utf-8"), _JSON
+    )
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of the serving subsystem.
+
+    ``gef`` carries the full PR-3 pipeline configuration used for
+    surrogate fits — including ``stage_timeout``, so explain-request
+    budgets reuse the stage-budget machinery unchanged.
+    """
+
+    max_batch: int = 32
+    batch_delay_s: float = 0.002
+    queue_limit: int = 256
+    max_inflight: int = 1024
+    request_timeout_s: float | None = 30.0
+    surrogate_capacity: int = 4
+    gef: GEFConfig = field(default_factory=GEFConfig)
+
+
+class ServeApp:
+    """Transport-agnostic GEF serving application (see module docstring)."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.registry = ModelRegistry()
+        self.surrogates = SurrogateCache(
+            self._fit_surrogate, capacity=self.config.surrogate_capacity
+        )
+        self.admission = AdmissionController(self.config.max_inflight)
+        self._lock = threading.Lock()
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._started_s = monotonic()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # model lifecycle
+    # ------------------------------------------------------------------
+    def _fit_surrogate(self, model):
+        from ..core.explainer import GEF
+
+        return GEF(self.config.gef).explain(model)
+
+    def add_model(self, model_id: str, source) -> ModelEntry:
+        """Register (or hot-swap) a model and give it a micro-batcher."""
+        entry = self.registry.add(model_id, source)
+        batcher = MicroBatcher(
+            entry.predict_raw,
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.batch_delay_s,
+            max_pending=self.config.queue_limit,
+            name=entry.model_id,
+        )
+        with self._lock:
+            old = self._batchers.pop(entry.model_id, None)
+            self._batchers[entry.model_id] = batcher
+        if old is not None:
+            old.stop(drain=True)
+        return entry
+
+    def remove_model(self, model_id: str) -> ModelEntry:
+        """Unregister a model, draining its batcher first."""
+        entry = self.registry.remove(model_id)
+        with self._lock:
+            batcher = self._batchers.pop(model_id, None)
+        if batcher is not None:
+            batcher.stop(drain=True)
+        return entry
+
+    def batcher_for(self, model_id: str) -> MicroBatcher:
+        """The micro-batcher serving ``model_id``."""
+        with self._lock:
+            batcher = self._batchers.get(model_id)
+        if batcher is None:
+            raise ModelNotFoundError(f"no model {model_id!r} is registered")
+        return batcher
+
+    def close(self, drain: bool = True) -> None:
+        """Drain (or abort) every batcher and refuse further work."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.values())
+        for batcher in batchers:
+            batcher.stop(drain=drain)
+        if drain:
+            self.admission.drain(timeout_s=self.config.request_timeout_s)
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _endpoint_label(method: str, path: str) -> str:
+        if path == "/predict":
+            return "predict"
+        if path == "/explain":
+            return "explain"
+        if path == "/gam/predict":
+            return "gam_predict"
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/models" or path.startswith("/models/"):
+            return "models"
+        return "unknown"
+
+    @staticmethod
+    def _parse_json(body) -> dict:
+        if isinstance(body, (bytes, bytearray)):
+            body = body.decode("utf-8", errors="replace")
+        if not body:
+            raise BadRequestError("request body must be a JSON object")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return payload
+
+    def _entry_for(self, payload: dict) -> ModelEntry:
+        model_id = payload.get("model")
+        if model_id is None:
+            ids = self.registry.ids()
+            if len(ids) == 1:
+                return self.registry.get(ids[0])
+            raise BadRequestError(
+                f'payload must name a "model" (registered: {ids or "none"})'
+            )
+        return self.registry.get(str(model_id))
+
+    @staticmethod
+    def _rows_for(payload: dict, entry: ModelEntry) -> np.ndarray:
+        rows = payload.get("rows")
+        if rows is None:
+            raise BadRequestError('payload needs a "rows" matrix')
+        try:
+            X = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"rows must be numeric: {exc}") from exc
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[0] == 0 or X.shape[1] != entry.n_features:
+            raise BadRequestError(
+                f"rows must be a non-empty matrix with "
+                f"{entry.n_features} columns, got shape {X.shape}"
+            )
+        return X
+
+    # ------------------------------------------------------------------
+    # the entry point
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, body=None) -> Response:
+        """Dispatch one request; never raises (errors become statuses)."""
+        method = method.upper()
+        endpoint = self._endpoint_label(method, path)
+        metric_inc("serve.requests")
+        metric_inc(f"serve.requests.{endpoint}")
+        deadline = Deadline(self.config.request_timeout_s)
+        with obs_span("serve.request", endpoint=endpoint) as sp:
+            try:
+                response = self._dispatch(
+                    method, path, body, endpoint, deadline
+                )
+            except ShedError as exc:
+                response = _json_response(
+                    429, {"error": str(exc), "kind": "shed"}
+                )
+            except BadRequestError as exc:
+                response = _json_response(
+                    400, {"error": str(exc), "kind": "bad-request"}
+                )
+            except ModelNotFoundError as exc:
+                response = _json_response(
+                    404, {"error": str(exc), "kind": "model-not-found"}
+                )
+            except StageTimeoutError as exc:
+                response = _json_response(
+                    504,
+                    {
+                        "error": str(exc),
+                        "kind": "timeout",
+                        "stage": exc.stage,
+                    },
+                )
+            except ReproError as exc:
+                response = _json_response(
+                    500,
+                    {
+                        "error": str(exc),
+                        "kind": type(exc).__name__,
+                        "stage": exc.stage,
+                    },
+                )
+            except Exception as exc:  # repro: allow(broad-except) the serving boundary answers 500, it must never crash the handler thread
+                response = _json_response(
+                    500, {"error": str(exc), "kind": "internal"}
+                )
+            sp.set(status=response.status)
+        metric_observe("serve.latency_s", deadline.elapsed())
+        return response
+
+    def _dispatch(
+        self, method: str, path: str, body, endpoint: str, deadline: Deadline
+    ) -> Response:
+        if method == "GET" and path == "/healthz":
+            return self._healthz()
+        if method == "GET" and path == "/metrics":
+            return Response(200, to_prometheus().encode("utf-8"), _PROM)
+        if endpoint == "unknown":
+            return _json_response(
+                404, {"error": f"no endpoint {method} {path}", "kind": "route"}
+            )
+        if self._closed:
+            raise ShedError("server is draining")
+        with self.admission.admit():
+            if method == "POST" and path == "/predict":
+                return self._predict(body, deadline)
+            if method == "POST" and path == "/gam/predict":
+                return self._gam_predict(body, deadline)
+            if method == "POST" and path == "/explain":
+                return self._explain(body, deadline)
+            if method == "POST" and path == "/models":
+                return self._models_add(body)
+            if method == "DELETE" and path.startswith("/models/"):
+                return self._models_remove(path[len("/models/"):])
+            return _json_response(
+                404, {"error": f"no endpoint {method} {path}", "kind": "route"}
+            )
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Response:
+        models = {
+            entry.model_id: {
+                "fingerprint": entry.fingerprint,
+                "n_features": entry.n_features,
+                "surrogate_cached": self.surrogates.cached(entry.fingerprint),
+            }
+            for entry in self.registry.entries()
+        }
+        return _json_response(
+            200,
+            {
+                "status": "draining" if self._closed else "ok",
+                "uptime_s": monotonic() - self._started_s,
+                "inflight": self.admission.inflight,
+                "models": models,
+            },
+        )
+
+    def _predict(self, body, deadline: Deadline) -> Response:
+        payload = self._parse_json(body)
+        entry = self._entry_for(payload)
+        X = self._rows_for(payload, entry)
+        deadline.check("serve.predict")
+        scores = self.batcher_for(entry.model_id).submit(
+            X, timeout_s=deadline.remaining()
+        )
+        return _json_response(
+            200,
+            {
+                "model": entry.model_id,
+                "fingerprint": entry.fingerprint,
+                "predictions": scores.tolist(),
+            },
+        )
+
+    def _surrogate_for(self, entry: ModelEntry, deadline: Deadline):
+        deadline.check("serve.explain")
+        return self.surrogates.explanation_for(
+            entry.model, entry.fingerprint, timeout_s=deadline.remaining()
+        )
+
+    def _gam_predict(self, body, deadline: Deadline) -> Response:
+        payload = self._parse_json(body)
+        entry = self._entry_for(payload)
+        X = self._rows_for(payload, entry)
+        explanation = self._surrogate_for(entry, deadline)
+        with obs_span("serve.gam_predict", rows=int(X.shape[0])):
+            mu = explanation.predict(X)
+        return _json_response(
+            200,
+            {
+                "model": entry.model_id,
+                "fingerprint": entry.fingerprint,
+                "predictions": np.asarray(mu, dtype=np.float64).tolist(),
+                "source": "gam-surrogate",
+            },
+        )
+
+    def _explain(self, body, deadline: Deadline) -> Response:
+        payload = self._parse_json(body)
+        entry = self._entry_for(payload)
+        explanation = self._surrogate_for(entry, deadline)
+        report = explanation.stage_report
+        result = {
+            "model": entry.model_id,
+            "fingerprint": entry.fingerprint,
+            "fidelity": dict(explanation.fidelity),
+            "features": [
+                explanation.feature_label(f) for f in explanation.features
+            ],
+            "pairs": [list(pair) for pair in explanation.pairs],
+            "degraded": bool(report is not None and report.degraded),
+            "fallbacks": list(report.fallbacks) if report is not None else [],
+        }
+        instance = payload.get("instance")
+        if instance is not None:
+            x = np.asarray(instance, dtype=np.float64).ravel()
+            if x.shape[0] != entry.n_features:
+                raise BadRequestError(
+                    f"instance has {x.shape[0]} values, the model expects "
+                    f"{entry.n_features}"
+                )
+            with obs_span("serve.local_explain"):
+                local = explanation.local_explanation(x)
+            top = payload.get("top")
+            contributions = local.contributions
+            if top is not None:
+                contributions = contributions[: int(top)]
+            result["local"] = {
+                "intercept": local.intercept,
+                "eta": local.eta,
+                "prediction": local.prediction,
+                "contributions": [
+                    {
+                        "label": c.label,
+                        "features": list(c.features),
+                        "value": np.asarray(c.value).tolist(),
+                        "contribution": c.contribution,
+                        "interval": list(c.interval),
+                    }
+                    for c in contributions
+                ],
+            }
+        return _json_response(200, result)
+
+    def _models_add(self, body) -> Response:
+        payload = self._parse_json(body)
+        model_id = payload.get("id")
+        path = payload.get("path")
+        if not model_id or not path:
+            raise BadRequestError('payload needs "id" and "path"')
+        try:
+            entry = self.add_model(str(model_id), path)
+        except (OSError, ValueError, KeyError) as exc:
+            raise BadRequestError(
+                f"cannot load model from {path!r}: {exc}"
+            ) from exc
+        return _json_response(
+            200,
+            {
+                "id": entry.model_id,
+                "fingerprint": entry.fingerprint,
+                "models": self.registry.ids(),
+            },
+        )
+
+    def _models_remove(self, model_id: str) -> Response:
+        entry = self.remove_model(model_id)
+        return _json_response(
+            200, {"removed": entry.model_id, "models": self.registry.ids()}
+        )

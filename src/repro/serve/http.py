@@ -1,0 +1,150 @@
+"""The stdlib HTTP transport: a thin adapter over :class:`ServeApp`.
+
+One :class:`~http.server.ThreadingHTTPServer` subclass whose request
+handler reads the body (Content-Length framing, HTTP/1.1 keep-alive) and
+forwards ``(method, path, body)`` to ``app.handle`` — all routing, error
+mapping and instrumentation lives in the app, so in-process tests and
+the network path exercise identical code.
+
+Shutdown is graceful by construction: ``daemon_threads=False`` plus
+``block_on_close=True`` makes ``server_close`` join every handler
+thread, after which ``app.close(drain=True)`` drains the micro-batchers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .app import Response, ServeApp
+
+__all__ = ["ReproServer", "ServerHandle", "get_server", "start_server", "stop_server"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Parses one HTTP request and delegates to the application."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def log_message(self, format_str, *args):  # noqa: A002 - stdlib API
+        """Silence per-request stderr logging; metrics/tracing cover it."""
+
+    def _write(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _read_body(self) -> bytes | None:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            return None
+        if length > _MAX_BODY_BYTES:
+            return b""  # handled as a bad request by the app
+        return self.rfile.read(length)
+
+    def _handle(self) -> None:
+        app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        body = self._read_body()
+        response = app.handle(self.command, self.path, body)
+        try:
+            self._write(response)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to answer
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib API
+        self._handle()
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib API
+        self._handle()
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib API
+        self._handle()
+
+
+class ReproServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ServeApp`."""
+
+    daemon_threads = False  # join handler threads on close (graceful drain)
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address, app: ServeApp):
+        super().__init__(address, _RequestHandler)
+        self.app = app
+
+
+@dataclass
+class ServerHandle:
+    """A running server: the socket loop thread, the app, the address."""
+
+    server: ReproServer
+    thread: threading.Thread
+    app: ServeApp
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, join handler threads, then drain the app."""
+        self.server.shutdown()
+        self.thread.join()
+        self.server.server_close()
+        self.app.close(drain=drain)
+
+
+def start_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Serve ``app`` on a background thread; ``port=0`` picks a free port."""
+    server = ReproServer((host, port), app)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="repro-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    return ServerHandle(server=server, thread=thread, app=app)
+
+
+_state_lock = threading.Lock()
+_server: ServerHandle | None = None
+
+
+def get_server() -> ServerHandle | None:
+    """The process-wide server installed by the ``repro serve`` CLI."""
+    with _state_lock:
+        return _server
+
+
+def set_server(handle: ServerHandle | None) -> None:
+    """Install (or clear) the process-wide server handle."""
+    global _server
+    with _state_lock:
+        _server = handle
+
+
+def stop_server(drain: bool = True) -> bool:
+    """Stop the process-wide server; ``True`` if one was running."""
+    global _server
+    with _state_lock:
+        handle = _server
+        _server = None
+    if handle is None:
+        return False
+    handle.close(drain=drain)
+    return True

@@ -62,3 +62,78 @@ class TestValidation:
         clone = forest_from_dict(forest_to_dict(small_forest))
         clone.init_score_ += 0.5
         assert not forests_equal(small_forest, clone)
+
+
+class TestAtomicSave:
+    """save_forest must never expose a torn file to a concurrent reader."""
+
+    def test_overwrite_is_atomic_via_replace(self, small_forest, tmp_path,
+                                             monkeypatch):
+        import repro.forest.model_io as model_io
+
+        path = tmp_path / "forest.json"
+        save_forest(small_forest, path)
+        old_payload = path.read_text()
+
+        observed = []
+        real_replace = model_io.os.replace
+
+        def spying_replace(src, dst):
+            # At the instant of the swap the destination still holds the
+            # complete OLD document — a reader racing the save parses it.
+            observed.append(forests_equal(small_forest, load_forest(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(model_io.os, "replace", spying_replace)
+        clone = forest_from_dict(forest_to_dict(small_forest))
+        clone.init_score_ += 1.0
+        save_forest(clone, path)
+        assert observed == [True]
+        assert path.read_text() != old_payload
+        assert forests_equal(clone, load_forest(path))
+
+    def test_interrupted_write_leaves_original_intact(self, small_forest,
+                                                      tmp_path, monkeypatch):
+        import repro.forest.model_io as model_io
+
+        path = tmp_path / "forest.json"
+        save_forest(small_forest, path)
+        before = path.read_text()
+
+        def failing_replace(src, dst):
+            raise OSError("synthetic crash between write and swap")
+
+        monkeypatch.setattr(model_io.os, "replace", failing_replace)
+        clone = forest_from_dict(forest_to_dict(small_forest))
+        clone.init_score_ += 1.0
+        with pytest.raises(OSError, match="synthetic crash"):
+            save_forest(clone, path)
+        # The original file is untouched and still a complete document...
+        assert path.read_text() == before
+        assert forests_equal(small_forest, load_forest(path))
+        # ...and the aborted temp file was cleaned up.
+        leftovers = [p for p in path.parent.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_no_temp_files_survive_a_successful_save(self, small_forest,
+                                                     tmp_path):
+        path = tmp_path / "forest.json"
+        save_forest(small_forest, path)
+        save_forest(small_forest, path)  # overwrite the same destination
+        assert [p.name for p in path.parent.iterdir()] == ["forest.json"]
+
+    def test_saved_file_honours_the_umask(self, small_forest, tmp_path):
+        # mkstemp creates 0600 temp files; save_forest must widen the
+        # final artifact to what a plain open() would produce, or the
+        # hand-off file stops being readable by the receiving party.
+        import os
+        import stat
+
+        path = tmp_path / "forest.json"
+        old_umask = os.umask(0o022)
+        try:
+            save_forest(small_forest, path)
+        finally:
+            os.umask(old_umask)
+        mode = stat.S_IMODE(path.stat().st_mode)
+        assert mode == 0o644, oct(mode)

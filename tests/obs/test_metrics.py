@@ -149,3 +149,107 @@ class TestModuleHelpers:
         assert returned is reg
         assert returned.counter("kept") == 5.0
         assert get_metrics() is None
+
+
+class TestPrometheusExposition:
+    """to_prometheus / validate_prometheus_text — the /metrics contract."""
+
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 7)
+        reg.inc("surrogate.fits")
+        reg.set_gauge("degrade.rung", 2)
+        for value in (0.5, 1.5, 3.0, 0.0):
+            reg.observe("serve.latency_s", value)
+        return reg
+
+    def test_counters_gain_total_suffix(self):
+        from repro.obs import to_prometheus
+
+        text = to_prometheus(self._populated().snapshot())
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 7.0" in text
+        assert "surrogate_fits_total 1.0" in text
+
+    def test_gauges_and_histograms_render(self):
+        from repro.obs import to_prometheus
+
+        text = to_prometheus(self._populated().snapshot())
+        assert "# TYPE degrade_rung gauge" in text
+        assert "# TYPE serve_latency_s histogram" in text
+        # Log2 buckets become cumulative le-bounded series: the sample 0.0
+        # lands in le="0.0", 0.5 in le="0.5" (2^-1), 1.5 in le="2.0",
+        # 3.0 in le="4.0"; the mandatory +Inf bucket equals the count.
+        assert 'serve_latency_s_bucket{le="0.0"} 1' in text
+        assert 'serve_latency_s_bucket{le="+Inf"} 4' in text
+        assert "serve_latency_s_count 4" in text
+
+    def test_validator_accepts_own_output(self):
+        from repro.obs import to_prometheus, validate_prometheus_text
+
+        text = to_prometheus(self._populated().snapshot())
+        assert validate_prometheus_text(text) > 0
+
+    def test_validator_rejects_malformed_sample(self):
+        from repro.obs import validate_prometheus_text
+
+        with pytest.raises(ValueError, match="malformed sample"):
+            validate_prometheus_text(
+                "# TYPE x counter\nx one_point_five\n"
+            )
+
+    def test_validator_rejects_undeclared_family(self):
+        from repro.obs import validate_prometheus_text
+
+        with pytest.raises(ValueError, match="no # TYPE"):
+            validate_prometheus_text("mystery_metric 1\n")
+
+    def test_validator_rejects_noncumulative_buckets(self):
+        from repro.obs import validate_prometheus_text
+
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="2.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_prometheus_text(bad)
+
+    def test_validator_rejects_missing_inf_bucket(self):
+        from repro.obs import validate_prometheus_text
+
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            "h_sum 4.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_prometheus_text(bad)
+
+    def test_validator_rejects_count_disagreement(self):
+        from repro.obs import validate_prometheus_text
+
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4.0\n"
+            "h_count 6\n"
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            validate_prometheus_text(bad)
+
+    def test_uses_installed_registry_by_default(self):
+        from repro.obs import to_prometheus
+
+        enable_metrics()
+        inc("serve.requests", 3)
+        try:
+            assert "serve_requests_total 3.0" in to_prometheus()
+        finally:
+            disable_metrics()
+        assert to_prometheus() == "\n"  # metrics off: empty exposition

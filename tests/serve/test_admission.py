@@ -1,0 +1,78 @@
+"""AdmissionController and Deadline: caps, budgets, drain — no sleeping."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import ShedError, StageTimeoutError
+from repro.obs.metrics import enable_metrics, get_metrics
+from repro.obs.trace import advance
+from repro.serve import AdmissionController, Deadline
+
+
+def test_deadline_budget_on_pipeline_clock():
+    deadline = Deadline(5.0)
+    deadline.check("serve.predict")  # within budget: no raise
+    assert deadline.remaining() == pytest.approx(5.0, abs=0.5)
+    advance(6.0)
+    assert deadline.elapsed() >= 6.0
+    with pytest.raises(StageTimeoutError) as err:
+        deadline.check("serve.predict")
+    assert err.value.stage == "serve.predict"
+
+
+def test_deadline_unbounded():
+    deadline = Deadline(None)
+    advance(100.0)
+    assert deadline.remaining() is None
+    deadline.check("serve.predict")  # never raises
+
+
+def test_admission_caps_and_sheds_exactly():
+    enable_metrics()
+    controller = AdmissionController(max_inflight=3)
+    admits = [controller.admit() for _ in range(3)]
+    assert controller.inflight == 3
+    for _ in range(4):
+        with pytest.raises(ShedError):
+            controller.admit()
+    assert get_metrics().counter("serve.shed") == 4
+    for admit in admits:
+        admit.__exit__(None, None, None)
+    assert controller.inflight == 0
+    with controller.admit():
+        assert controller.inflight == 1
+    assert controller.inflight == 0
+
+
+def test_drain_waits_for_releases():
+    controller = AdmissionController(max_inflight=8)
+    admits = [controller.admit() for _ in range(2)]
+    done = threading.Event()
+
+    def drainer():
+        assert controller.drain(timeout_s=10.0)
+        done.set()
+
+    thread = threading.Thread(target=drainer, daemon=True)
+    thread.start()
+    assert not done.is_set()
+    admits[0].__exit__(None, None, None)
+    assert not done.wait(0.0)  # one request still in flight
+    admits[1].__exit__(None, None, None)
+    assert done.wait(10.0)
+    thread.join(10.0)
+
+
+def test_drain_timeout_reports_failure():
+    controller = AdmissionController(max_inflight=8)
+    with controller.admit():
+        # A slot is still busy: a bounded drain must give up, not block.
+        assert controller.drain(timeout_s=0.05) is False
+
+
+def test_bad_constructor_arg():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)

@@ -1,12 +1,15 @@
-"""Tier-2 perf smoke: packed single-pass engine vs the per-tree loop.
+"""Tier-2 perf smoke: the three prediction engines head to head.
 
-Times ``predict_raw`` for both engines over the (N, T) grid
+Times ``predict_raw`` for the per-tree loop, the packed single-pass
+descent and the traversal-free bitvector engine over the (N, T) grid
 {10k, 100k} x {50, 500} on a deep leaf-wise GBDT (num_leaves=31, the
-paper's forest shape) and writes a ``BENCH_predict.json`` trajectory
-artifact at the repo root.  The run *fails* if the packed engine is
-slower than the loop at the largest cell (N=100k, T=500) or if any cell's
-outputs are not bitwise identical — keeping the perf claim and the
-correctness contract pinned in CI.
+paper's forest shape) and writes a schema-validated
+``BENCH_predict.json`` trajectory artifact at the repo root.  The run
+*fails* if the bitvector engine is not at least ``2x`` faster than
+packed at the largest cell (N=100k, T=500), if packed is slower than the
+loop there, or if any cell's outputs are not bitwise identical across
+all three engines — keeping the perf claims and the correctness contract
+pinned in CI.
 
 Run with ``pytest benchmarks/test_perf_predict.py -q``.
 """
@@ -20,11 +23,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.devtools.benchval import validate_bench_predict
 from repro.forest import (
     GradientBoostingRegressor,
+    bitvector_for,
     packed_for,
     set_prediction_engine,
 )
+from repro.forest.engines import DEFAULT_ENGINE
 
 from _report import header, report
 
@@ -34,6 +40,9 @@ ROW_COUNTS = (10_000, 100_000)
 TREE_COUNTS = (50, 500)
 N_FEATURES = 12
 SEED = 0
+
+#: The perf gate: bitvector over packed at the largest grid cell.
+BITVECTOR_MIN_SPEEDUP = 2.0
 
 
 def _train_forest(n_trees: int) -> tuple[GradientBoostingRegressor, np.ndarray]:
@@ -53,6 +62,7 @@ def _train_forest(n_trees: int) -> tuple[GradientBoostingRegressor, np.ndarray]:
     X_eval = rng.standard_normal((max(ROW_COUNTS), N_FEATURES))
     return model, X_eval
 
+
 def _time_predict(
     model, X: np.ndarray, engine: str, repeats: int = 2
 ) -> tuple[float, np.ndarray]:
@@ -60,11 +70,16 @@ def _time_predict(
     set_prediction_engine(engine)
     try:
         if engine == "packed":
-            # Warm the pack once so the timing isolates evaluation.
+            # Warm the encoding once so the timing isolates evaluation.
             packed = packed_for(model)
             assert packed is not None
             packed.clear_cache()
             run = lambda: packed.predict_raw(X, use_cache=False)
+        elif engine == "bitvector":
+            encoded = bitvector_for(model)
+            assert encoded is not None
+            encoded.clear_cache()
+            run = lambda: encoded.predict_raw(X, use_cache=False)
         else:
             run = lambda: model.predict_raw(X)
         best = np.inf
@@ -74,11 +89,11 @@ def _time_predict(
             best = min(best, time.perf_counter() - start)
         return best, out
     finally:
-        set_prediction_engine("packed")
+        set_prediction_engine(DEFAULT_ENGINE)
 
 
 def test_perf_predict():
-    header("Packed engine vs per-tree loop: predict_raw rows/sec")
+    header("Prediction engines (loop / packed / bitvector): predict_raw rows/sec")
     model_full, X_eval = _train_forest(max(TREE_COUNTS))
 
     cells = []
@@ -93,44 +108,63 @@ def test_perf_predict():
         model.n_features_ = model_full.n_features_
         for n_rows in ROW_COUNTS:
             X = X_eval[:n_rows]
-            loop_seconds, loop_out = _time_predict(model, X, "loop")
-            packed_seconds, packed_out = _time_predict(model, X, "packed")
-            identical = bool(np.array_equal(loop_out, packed_out))
+            seconds = {}
+            outputs = {}
+            for engine in ("loop", "packed", "bitvector"):
+                seconds[engine], outputs[engine] = _time_predict(model, X, engine)
+            identical = bool(
+                np.array_equal(outputs["loop"], outputs["packed"])
+                and np.array_equal(outputs["loop"], outputs["bitvector"])
+            )
             cell = {
                 "n_rows": n_rows,
                 "n_trees": n_trees,
-                "loop_seconds": round(loop_seconds, 4),
-                "packed_seconds": round(packed_seconds, 4),
-                "loop_rows_per_sec": round(n_rows / loop_seconds, 1),
-                "packed_rows_per_sec": round(n_rows / packed_seconds, 1),
-                "speedup": round(loop_seconds / packed_seconds, 2),
                 "identical": identical,
             }
+            for engine, spent in seconds.items():
+                cell[f"{engine}_seconds"] = round(spent, 4)
+                cell[f"{engine}_rows_per_sec"] = round(n_rows / spent, 1)
+            cell["packed_speedup_vs_loop"] = round(
+                seconds["loop"] / seconds["packed"], 2
+            )
+            cell["bitvector_speedup_vs_loop"] = round(
+                seconds["loop"] / seconds["bitvector"], 2
+            )
+            cell["bitvector_speedup_vs_packed"] = round(
+                seconds["packed"] / seconds["bitvector"], 2
+            )
             cells.append(cell)
             report(
                 f"N={n_rows:>7,} T={n_trees:>3}: "
                 f"loop {cell['loop_rows_per_sec']:>10,.0f} rows/s  "
                 f"packed {cell['packed_rows_per_sec']:>10,.0f} rows/s  "
-                f"speedup {cell['speedup']:.2f}x  identical={identical}"
+                f"bitvector {cell['bitvector_rows_per_sec']:>10,.0f} rows/s  "
+                f"bv/packed {cell['bitvector_speedup_vs_packed']:.2f}x  "
+                f"identical={identical}"
             )
 
     artifact = {
         "benchmark": "predict_raw",
         "forest": {"num_leaves": 31, "n_features": N_FEATURES, "seed": SEED},
-        "engines": ["loop", "packed"],
+        "engines": ["loop", "packed", "bitvector"],
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cells": cells,
     }
+    for cell in cells:
+        assert cell["identical"], f"engine outputs differ at {cell}"
+    assert validate_bench_predict(artifact) == len(cells)
     (REPO_ROOT / "BENCH_predict.json").write_text(json.dumps(artifact, indent=2) + "\n")
 
-    for cell in cells:
-        assert cell["identical"], f"packed output differs at {cell}"
     largest = next(
         c
         for c in cells
         if c["n_rows"] == max(ROW_COUNTS) and c["n_trees"] == max(TREE_COUNTS)
     )
-    assert largest["speedup"] > 1.0, (
+    assert largest["packed_speedup_vs_loop"] > 1.0, (
         f"packed engine slower than loop at the largest cell: {largest}"
+    )
+    assert largest["bitvector_speedup_vs_packed"] >= BITVECTOR_MIN_SPEEDUP, (
+        f"bitvector engine below the {BITVECTOR_MIN_SPEEDUP}x-over-packed gate "
+        f"at the largest cell: {largest}"
     )

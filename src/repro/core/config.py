@@ -30,22 +30,26 @@ __all__ = [
 def set_prediction_engine(name: str) -> None:
     """Select the forest evaluation engine used by every ``predict_raw``.
 
-    ``"packed"`` (the default) evaluates all trees in one batched descent;
-    ``"loop"`` restores the per-tree loop.  Outputs are bitwise identical —
-    the knob exists for benchmarking and as an escape hatch.  Delegates to
-    :mod:`repro.forest.packed`; imported lazily to keep ``repro.core``
-    import-light.
+    ``"bitvector"`` (the default) evaluates trees traversal-free from
+    QuickScorer-style threshold-sorted bitmasks, falling back to
+    ``"packed"`` for forests it cannot encode; ``"packed"`` evaluates all
+    trees in one batched descent; ``"loop"`` restores the per-tree loop.
+    Outputs are bitwise identical — the knob exists for benchmarking and
+    as an escape hatch.  Delegates to the registry in
+    :mod:`repro.forest.engines`; imported lazily (through
+    :mod:`repro.forest`, so every engine is registered) to keep
+    ``repro.core`` import-light.
     """
-    from ..forest import packed
+    from .. import forest
 
-    packed.set_prediction_engine(name)
+    forest.set_prediction_engine(name)
 
 
 def get_prediction_engine() -> str:
     """The currently selected forest evaluation engine name."""
-    from ..forest import packed
+    from .. import forest
 
-    return packed.get_prediction_engine()
+    return forest.get_prediction_engine()
 
 SAMPLING_STRATEGY_NAMES = (
     "all-thresholds",

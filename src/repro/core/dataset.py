@@ -6,6 +6,13 @@ available in GEF's data-free setting.  Every feature the forest uses is
 sampled (so the forest is exercised over its whole decision space); the
 GAM later models only the selected subset F', treating the remainder as
 marginalized noise.
+
+Labelling streams through the selected prediction engine (the bitvector
+engine by default) in bounded row chunks, so D* never holds more than one
+chunk of engine working buffers at a time; rows are independent, so the
+chunked labels are bitwise identical to one whole-matrix call.  Sampling
+itself stays whole-matrix — one ``rng.choice`` per feature — because the
+RNG stream (and therefore D* itself) is pinned by the fidelity tests.
 """
 
 from __future__ import annotations
@@ -14,9 +21,14 @@ from dataclasses import dataclass
 
 import numpy as np
 from .._rng import as_generator
+from ..obs.metrics import inc as metric_inc
+from ..obs.trace import span as obs_span
 from .errors import SamplingError
 
 __all__ = ["ExplanationDataset", "sample_instances", "generate_dataset"]
+
+#: Rows labelled per engine call while building D*.
+_LABEL_CHUNK_ROWS = 65_536
 
 
 @dataclass
@@ -60,11 +72,20 @@ def _label_with_forest(forest, X: np.ndarray, label: str) -> np.ndarray:
     is_classifier = hasattr(forest, "predict_proba")
     if label == "auto":
         label = "probability" if is_classifier else "raw"
-    if label == "probability":
-        if not is_classifier:
-            raise SamplingError("'probability' labels require a classifier forest")
-        return np.asarray(forest.predict_proba(X), dtype=np.float64)
-    return np.asarray(forest.predict_raw(X), dtype=np.float64)
+    if label == "probability" and not is_classifier:
+        raise SamplingError("'probability' labels require a classifier forest")
+    query = forest.predict_proba if label == "probability" else forest.predict_raw
+    n = X.shape[0]
+    with obs_span("sample.label", rows=int(n), label=label):
+        if n <= _LABEL_CHUNK_ROWS:
+            metric_inc("sample.label_chunks")
+            return np.asarray(query(X), dtype=np.float64)
+        y = np.empty(n)
+        for lo in range(0, n, _LABEL_CHUNK_ROWS):
+            hi = min(lo + _LABEL_CHUNK_ROWS, n)
+            y[lo:hi] = np.asarray(query(X[lo:hi]), dtype=np.float64)
+            metric_inc("sample.label_chunks")
+    return y
 
 
 def generate_dataset(

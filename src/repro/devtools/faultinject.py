@@ -94,13 +94,14 @@ def corrupt_forest(forest, fault: str, tree_index: int = 0):
         raise ValueError(
             f"unknown fault {fault!r}; expected one of {FOREST_FAULTS}"
         )
-    # The packed-evaluation cache holds a lock (not deep-copyable) and
-    # would mask the corruption on predict anyway: map it to None in the
-    # deepcopy memo, then drop the placeholder from the copy.
+    # The per-engine evaluation caches hold locks (not deep-copyable) and
+    # would mask the corruption on predict anyway: map each to None in the
+    # deepcopy memo, then drop the placeholders from the copy.
     memo: dict = {}
-    cached = forest.__dict__.get("_packed_state")
-    if cached is not None:
-        memo[id(cached)] = None
+    for state_key in ("_packed_state", "_bitvector_state"):
+        cached = forest.__dict__.get(state_key)
+        if cached is not None:
+            memo[id(cached)] = None
     corrupted = copy.deepcopy(forest, memo)
     from ..forest.packed import invalidate_packed
 

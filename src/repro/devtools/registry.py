@@ -23,9 +23,13 @@ __all__ = ["THREAD_SAFETY_REGISTRY", "is_registered"]
 
 #: ``(module, name) -> discipline`` for every sanctioned global.
 THREAD_SAFETY_REGISTRY: dict[tuple[str, str], str] = {
-    # repro.forest.packed — engine knobs, guarded by packed._state_lock;
+    # repro.forest.engines — the engine knob and the spec registry, both
+    # mutated under engines._state_lock (knob reads are lock-free atomic
+    # loads; specs are only added at engine-module import).
+    ("repro.forest.engines", "_engine"): "lock:_state_lock",
+    ("repro.forest.engines", "_ENGINE_SPECS"): "lock:_state_lock",
+    # repro.forest.packed — n_jobs knob, guarded by packed._state_lock;
     # the per-model pack cache dict is guarded by packed._pack_lock.
-    ("repro.forest.packed", "_engine"): "lock:_state_lock",
     ("repro.forest.packed", "_default_n_jobs"): "lock:_state_lock",
     # repro.core.numerics — sanitizer mode and the kernel fault-injection
     # hook, both guarded by numerics._mode_lock (hot-path reads lock-free).

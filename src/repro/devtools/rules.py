@@ -443,6 +443,8 @@ class RaiseOutsideTaxonomyRule(LintRule):
             "repro.core.sampling",
             "repro.core.stages",
             "repro.core.validate",
+            "repro.forest.bitvector",
+            "repro.forest.engines",
             "repro.serve.admission",
             "repro.serve.app",
             "repro.serve.batcher",

@@ -9,14 +9,23 @@ the *forest protocol* GEF relies on:
 * ``n_features_`` — input dimensionality;
 * ``predict_raw(X)`` — ``init_score_ + sum of trees``.
 
-Prediction runs on the packed single-pass engine by default (all trees
-evaluated in one batched descent, see :mod:`repro.forest.packed`);
-``set_prediction_engine("loop")`` restores the per-tree loop, which is
-bitwise identical but several times slower.
+Prediction runs on the traversal-free bitvector engine by default
+(QuickScorer-style threshold-sorted bitmasks, see
+:mod:`repro.forest.bitvector`), falling back to the packed single-pass
+descent (:mod:`repro.forest.packed`) for forests the bitvector encoding
+declines; ``set_prediction_engine("packed")`` or ``"loop"`` selects the
+older engines, which are bitwise identical but slower.  The registry of
+selectable engines lives in :mod:`repro.forest.engines`.
 """
 
 from .binning import BinMapper
+from .bitvector import BitvectorForest, bitvector_for, invalidate_bitvector
 from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .engines import (
+    engine_names,
+    get_prediction_engine,
+    set_prediction_engine,
+)
 from .grower import TreeGrowerParams, grow_tree
 from .losses import LogisticLoss, SquaredLoss, get_loss, sigmoid
 from .multiclass import OneVsRestGBDTClassifier
@@ -31,11 +40,9 @@ from .packed import (
     PackedForest,
     forest_fingerprint,
     get_default_n_jobs,
-    get_prediction_engine,
     invalidate_packed,
     packed_for,
     set_default_n_jobs,
-    set_prediction_engine,
 )
 from .random_forest import RandomForestClassifier, RandomForestRegressor
 from .text_dump import dump_tree, forest_summary
@@ -44,6 +51,7 @@ from .validation import GridSearch, cross_val_score, kfold_indices, train_test_s
 
 __all__ = [
     "BinMapper",
+    "BitvectorForest",
     "GradientBoostingClassifier",
     "GradientBoostingRegressor",
     "GridSearch",
@@ -56,8 +64,10 @@ __all__ = [
     "SquaredLoss",
     "Tree",
     "TreeGrowerParams",
+    "bitvector_for",
     "cross_val_score",
     "dump_tree",
+    "engine_names",
     "forest_fingerprint",
     "forest_from_dict",
     "forest_summary",
@@ -67,6 +77,7 @@ __all__ = [
     "get_loss",
     "get_prediction_engine",
     "grow_tree",
+    "invalidate_bitvector",
     "invalidate_packed",
     "kfold_indices",
     "load_forest",

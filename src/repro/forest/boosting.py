@@ -17,7 +17,8 @@ import numpy as np
 from .binning import BinMapper
 from .grower import TreeGrowerParams, grow_tree
 from .losses import get_loss
-from .packed import dispatch_predict_raw, dispatch_staged_predict_raw, invalidate_packed
+from .engines import dispatch_predict_raw, dispatch_staged_predict_raw
+from .packed import invalidate_packed
 from .tree import Tree, accumulate_importance
 from .._rng import as_generator
 
@@ -169,14 +170,16 @@ class _BaseGradientBoosting:
     def predict_raw(self, X: np.ndarray) -> np.ndarray:
         """Raw additive score ``init + sum_t tree_t(x)``.
 
-        Evaluated by the packed single-pass engine when it is selected
-        (the default); the per-tree loop is the bitwise-identical fallback.
+        Evaluated by the selected prediction engine (the traversal-free
+        bitvector engine by default, falling back to packed descent for
+        forests it cannot encode); the per-tree loop below is the
+        bitwise-identical last resort.
         """
         self._check_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        packed = dispatch_predict_raw(self, X)
-        if packed is not None:
-            return packed
+        engine_out = dispatch_predict_raw(self, X)
+        if engine_out is not None:
+            return engine_out
         raw = np.full(X.shape[0], self.init_score_)
         for tree in self.trees_:
             raw += tree.predict(X)

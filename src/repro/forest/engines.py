@@ -1,0 +1,176 @@
+"""Central prediction-engine registry: one source of truth for dispatch.
+
+Historically the engine knob lived inside :mod:`repro.forest.packed` and
+validated names against a hard-coded tuple — adding an engine meant
+editing the knob, the dispatchers and the config re-export in lock-step.
+This module centralizes all of it: every evaluation engine registers an
+:class:`EngineSpec` at import time, and the process-wide knob
+(:func:`set_prediction_engine`) validates against the registry, so the
+set of selectable names can never drift from the set of dispatchable
+engines.
+
+Each spec names its *fallback* engine, forming a declining ladder: when
+the selected engine cannot handle a forest (its ``predict`` hook returns
+``None``), dispatch walks to the fallback instead of failing.  The
+shipped ladder is ``bitvector -> packed -> loop``:
+
+* ``bitvector`` — traversal-free QuickScorer-style evaluation
+  (:mod:`repro.forest.bitvector`), the default;
+* ``packed`` — batched breadth-synchronous descent
+  (:mod:`repro.forest.packed`);
+* ``loop`` — the historical per-tree loop, implemented by the models
+  themselves (its spec has no ``predict`` hook, which tells dispatch to
+  hand control back to the caller).
+
+Engine selection is a process-wide knob guarded by ``_state_lock``
+(registered in the thread-safety registry); reads on the hot path are
+single atomic loads under the GIL and stay lock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "EngineSpec",
+    "dispatch_predict_raw",
+    "dispatch_staged_predict_raw",
+    "engine_names",
+    "get_prediction_engine",
+    "invalidate_model_caches",
+    "register_engine",
+    "set_prediction_engine",
+]
+
+#: The engine selected at process start (falls back down its ladder for
+#: forests it cannot encode).
+DEFAULT_ENGINE = "bitvector"
+
+# Module-state discipline (see repro.devtools.registry): the knob and the
+# spec table are mutated under _state_lock; hot-path reads are single
+# atomic loads under the GIL.  Specs are only added (at engine-module
+# import), never replaced or removed mid-run.
+_state_lock = threading.Lock()
+_engine = DEFAULT_ENGINE
+_ENGINE_SPECS: dict[str, "EngineSpec"] = {}
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered evaluation engine and its dispatch hooks.
+
+    Attributes
+    ----------
+    name:
+        The knob value selecting this engine.
+    predict:
+        ``(model, X) -> ndarray | None`` — full-batch ``predict_raw``;
+        ``None`` (the hook itself) marks the model-owned loop, a
+        returned ``None`` means "this forest is unsupported, fall back".
+    staged:
+        ``(model, X) -> generator | None`` — per-stage prediction, with
+        the same ``None`` conventions as ``predict``.
+    invalidate:
+        ``(model) -> None`` — drop any per-model cached encoding this
+        engine attached to the model.
+    fallback:
+        Name of the engine to try when this one declines a forest, or
+        ``None`` to hand back to the caller's loop.
+    """
+
+    name: str
+    predict: Callable | None = None
+    staged: Callable | None = None
+    invalidate: Callable | None = None
+    fallback: str | None = None
+
+
+def register_engine(spec: EngineSpec) -> None:
+    """Add ``spec`` to the registry (idempotent per engine name)."""
+    with _state_lock:
+        _ENGINE_SPECS[spec.name] = spec
+
+
+def engine_names() -> tuple[str, ...]:
+    """Sorted names of every registered engine."""
+    with _state_lock:
+        return tuple(sorted(_ENGINE_SPECS))
+
+
+def set_prediction_engine(name: str) -> None:
+    """Select the process-wide prediction engine by registered name."""
+    with _state_lock:
+        if name not in _ENGINE_SPECS:
+            known = tuple(sorted(_ENGINE_SPECS))
+            raise ValueError(  # repro: allow(raise-outside-taxonomy) harness misuse, not a pipeline failure
+                f"unknown engine {name!r}; choose from {known}"
+            )
+        global _engine
+        _engine = name
+
+
+def get_prediction_engine() -> str:
+    """The currently selected prediction engine name."""
+    return _engine
+
+
+def _spec_chain():
+    """Specs from the selected engine down its fallback ladder."""
+    name = _engine
+    seen = set()
+    while name is not None and name not in seen:
+        seen.add(name)
+        spec = _ENGINE_SPECS.get(name)
+        if spec is None:
+            return
+        yield spec
+        name = spec.fallback
+
+
+def dispatch_predict_raw(model, X):
+    """``predict_raw`` through the selected engine's fallback ladder.
+
+    Returns the score array, or ``None`` when every engine on the ladder
+    declined (or the loop is selected) — the caller then runs its own
+    per-tree loop.
+    """
+    for spec in _spec_chain():
+        if spec.predict is None:
+            return None
+        out = spec.predict(model, X)
+        if out is not None:
+            return out
+    return None
+
+
+def dispatch_staged_predict_raw(model, X):
+    """Staged-prediction generator through the fallback ladder, or ``None``."""
+    for spec in _spec_chain():
+        if spec.staged is None:
+            return None
+        stages = spec.staged(model, X)
+        if stages is not None:
+            return stages
+    return None
+
+
+def invalidate_model_caches(model) -> None:
+    """Drop every engine's cached per-model encoding (call after mutation).
+
+    Mutations are also caught automatically by each engine's structural
+    fingerprint check; this hook just makes the common sites (fit,
+    early-stopping truncation) explicit and cheap.
+    """
+    with _state_lock:
+        specs = list(_ENGINE_SPECS.values())
+    for spec in specs:
+        if spec.invalidate is not None:
+            spec.invalidate(model)
+
+
+# The per-tree loop lives in the models themselves; registering it here
+# (with no hooks) makes it selectable and ends every fallback ladder.
+register_engine(EngineSpec(name="loop"))

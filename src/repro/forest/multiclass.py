@@ -90,8 +90,9 @@ class OneVsRestGBDTClassifier:
         """Per-class raw (log-odds) scores, shape ``(n, n_classes)``.
 
         Each column is one binary forest's ``predict_raw``; every forest
-        dispatches to the packed engine when it is selected, so the
-        multiclass score matrix is a per-class reshape of packed passes.
+        dispatches through the selected prediction engine (bitvector by
+        default), so the multiclass score matrix is a per-class reshape
+        of engine passes.
         """
         self._check_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))

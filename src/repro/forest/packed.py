@@ -37,11 +37,14 @@ per-tree loop — ``((init + v_0) + v_1) + ...`` — via a cumulative sum over
 the per-tree leaf values, so packed and loop outputs are bit-for-bit
 equal, independent of chunking or threading (rows never interact).
 
-Engine selection is a process-wide knob (:func:`set_prediction_engine`);
-``"packed"`` is the default and ``"loop"`` restores the historical
-per-tree path.  Models keep a cached :class:`PackedForest` keyed by a
-structural fingerprint of their trees, so mutating a fitted model (early
-stopping truncation, manual editing) transparently triggers a re-pack.
+Engine selection is a process-wide knob
+(:func:`repro.forest.engines.set_prediction_engine`, re-exported here);
+``"packed"`` registers in the central engine registry as the fallback of
+the default ``"bitvector"`` engine, and ``"loop"`` restores the
+historical per-tree path.  Models keep a cached :class:`PackedForest`
+keyed by a structural fingerprint of their trees, so mutating a fitted
+model (early stopping truncation, manual editing) transparently triggers
+a re-pack.
 """
 
 from __future__ import annotations
@@ -57,6 +60,13 @@ import numpy as np
 from ..core.numerics import assert_all_finite
 from ..obs.metrics import get_metrics, inc as metric_inc, observe as metric_observe
 from ..obs.trace import monotonic as obs_monotonic, span as obs_span
+from .engines import (
+    EngineSpec,
+    get_prediction_engine,
+    invalidate_model_caches,
+    register_engine,
+    set_prediction_engine,
+)
 from .tree import LEAF, Tree
 
 __all__ = [
@@ -70,14 +80,13 @@ __all__ = [
     "set_prediction_engine",
 ]
 
-_ENGINES = ("packed", "loop")
-# Module-state discipline (see repro.devtools.registry): writes to the two
-# knobs below go through _state_lock; reads are single atomic loads under
+# Module-state discipline (see repro.devtools.registry): writes to the
+# n_jobs knob go through _state_lock; reads are single atomic loads under
 # the GIL and stay lock-free on the hot path.  Per-model pack caches are
-# guarded by _pack_lock.
+# guarded by _pack_lock.  The engine knob itself lives in
+# repro.forest.engines.
 _state_lock = threading.Lock()
 _pack_lock = threading.Lock()
-_engine = "packed"
 _default_n_jobs = 1
 
 #: Entries kept in each PackedForest's prediction LRU cache.
@@ -86,20 +95,6 @@ PREDICTION_CACHE_SIZE = 4
 #: Fall back to the loop for staged prediction above this many
 #: (tree, row) leaf values (the staged path materializes all of them).
 _STAGED_MAX_ELEMENTS = 25_000_000
-
-
-def set_prediction_engine(name: str) -> None:
-    """Select the process-wide prediction engine: ``"packed"`` or ``"loop"``."""
-    global _engine
-    if name not in _ENGINES:
-        raise ValueError(f"unknown engine {name!r}; choose from {_ENGINES}")
-    with _state_lock:
-        _engine = name
-
-
-def get_prediction_engine() -> str:
-    """The currently selected prediction engine name."""
-    return _engine
 
 
 def set_default_n_jobs(n_jobs: int) -> None:
@@ -516,15 +511,23 @@ class PackedForest:
 # ----------------------------------------------------------------------
 # model integration: cached packing, invalidation, engine dispatch
 # ----------------------------------------------------------------------
+def _drop_packed_state(model) -> None:
+    """This engine's invalidation hook: pop the cached pack only."""
+    with _pack_lock:
+        model.__dict__.pop("_packed_state", None)
+
+
 def invalidate_packed(model) -> None:
-    """Drop a model's cached :class:`PackedForest` (call after mutating it).
+    """Drop every engine's cached encoding of ``model`` (call after mutating it).
 
     Mutations are also caught automatically by the structural fingerprint
     check in :func:`packed_for`; this hook just makes the common sites
-    (fit, early-stopping truncation) explicit and cheap.
+    (fit, early-stopping truncation) explicit and cheap.  Despite the
+    historical name it clears *all* registered engines' caches through
+    :func:`repro.forest.engines.invalidate_model_caches`, so a mutated
+    model never serves stale predictions from any engine.
     """
-    with _pack_lock:
-        model.__dict__.pop("_packed_state", None)
+    invalidate_model_caches(model)
 
 
 def packed_for(model) -> PackedForest | None:
@@ -560,8 +563,6 @@ def packed_for(model) -> PackedForest | None:
 
 def dispatch_predict_raw(model, X: np.ndarray) -> np.ndarray | None:
     """Packed-engine ``predict_raw`` for ``model``, or ``None`` to fall back."""
-    if _engine != "packed":
-        return None
     packed = packed_for(model)
     if packed is None:
         return None
@@ -570,11 +571,20 @@ def dispatch_predict_raw(model, X: np.ndarray) -> np.ndarray | None:
 
 def dispatch_staged_predict_raw(model, X: np.ndarray):
     """Packed-engine staged prediction generator, or ``None`` to fall back."""
-    if _engine != "packed":
-        return None
     packed = packed_for(model)
     if packed is None:
         return None
     if packed.n_trees * np.atleast_2d(X).shape[0] > _STAGED_MAX_ELEMENTS:
         return None
     return packed.staged_predict_raw(X)
+
+
+register_engine(
+    EngineSpec(
+        name="packed",
+        predict=dispatch_predict_raw,
+        staged=dispatch_staged_predict_raw,
+        invalidate=_drop_packed_state,
+        fallback=None,
+    )
+)

@@ -18,7 +18,8 @@ import numpy as np
 from .binning import BinMapper
 from .grower import TreeGrowerParams, grow_tree
 from .losses import sigmoid
-from .packed import dispatch_predict_raw, invalidate_packed
+from .engines import dispatch_predict_raw
+from .packed import invalidate_packed
 from .tree import Tree, accumulate_importance
 from .._rng import as_generator
 
@@ -140,15 +141,15 @@ class _BaseRandomForest:
         """Bagged average output, expressed as ``init + sum of trees``.
 
         The leaf values are pre-divided by ``n_estimators`` at fit time,
-        so the packed engine's sum reduction *is* the bagged mean (and the
-        classifier's soft vote); the per-tree loop is the fallback.
+        so any engine's sum reduction *is* the bagged mean (and the
+        classifier's soft vote); the per-tree loop is the last resort.
         """
         if not self.trees_:
             raise RuntimeError("model is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        packed = dispatch_predict_raw(self, X)
-        if packed is not None:
-            return packed
+        engine_out = dispatch_predict_raw(self, X)
+        if engine_out is not None:
+            return engine_out
         raw = np.full(X.shape[0], self.init_score_)
         for tree in self.trees_:
             raw += tree.predict(X)

@@ -1,8 +1,9 @@
 """The model registry: hot-swappable forests keyed by structural identity.
 
 Each registered model is loaded through :mod:`repro.forest.model_io`
-(or handed over as an already-fitted forest-protocol object), packed once
-by the packed evaluation engine, and fingerprinted with
+(or handed over as an already-fitted forest-protocol object), encoded
+once by both batch evaluation engines (bitvector and packed — serving
+latency must never pay a first-request pack), and fingerprinted with
 :func:`repro.forest.packed.forest_fingerprint`.  The fingerprint — not
 the id — is the *structural* identity: the surrogate cache keys fitted
 GAMs by it, so re-registering the same forest under another id (or
@@ -24,6 +25,8 @@ from pathlib import Path
 import numpy as np
 
 from ..core.errors import ModelNotFoundError, ServeError
+from ..forest.bitvector import BitvectorForest, bitvector_for
+from ..forest.engines import get_prediction_engine
 from ..forest.model_io import load_forest
 from ..forest.packed import PackedForest, forest_fingerprint, packed_for
 from ..obs.trace import span as obs_span
@@ -33,23 +36,30 @@ __all__ = ["ModelEntry", "ModelRegistry"]
 
 @dataclass(frozen=True)
 class ModelEntry:
-    """One registered model: the forest, its packed form, its identity."""
+    """One registered model: the forest, its encoded forms, its identity."""
 
     model_id: str
     model: object
     fingerprint: int
     packed: PackedForest | None = None
+    bitvector: BitvectorForest | None = None
     path: Path | None = None
     n_features: int = field(default=0)
 
     def predict_raw(self, X: np.ndarray) -> np.ndarray:
-        """Raw forest scores for ``X`` via the packed engine.
+        """Raw forest scores for ``X`` via the selected prediction engine.
 
-        Bypasses the packed prediction LRU (every serving batch is
-        distinct, and benchmark runs must not alias results) but is
-        bitwise identical to ``model.predict_raw``.
+        Follows the engine knob with the registry's pre-built encodings
+        (bitvector when selected and eligible, packed otherwise, the
+        model's own loop for ``"loop"``), bypassing the per-engine
+        prediction LRUs (every serving batch is distinct, and benchmark
+        runs must not alias results).  All paths are bitwise identical to
+        ``model.predict_raw``.
         """
-        if self.packed is not None:
+        engine = get_prediction_engine()
+        if engine == "bitvector" and self.bitvector is not None:
+            return self.bitvector.predict_raw(X, use_cache=False)
+        if engine != "loop" and self.packed is not None:
             return self.packed.predict_raw(X, use_cache=False)
         return self.model.predict_raw(X)
 
@@ -78,6 +88,7 @@ class ModelRegistry:
             model=model,
             fingerprint=forest_fingerprint(model),
             packed=packed_for(model),
+            bitvector=bitvector_for(model),
             path=path,
             n_features=int(model.n_features_),
         )

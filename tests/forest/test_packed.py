@@ -23,6 +23,7 @@ from repro.forest import (
     packed_for,
     set_prediction_engine,
 )
+from repro.forest.engines import DEFAULT_ENGINE
 from repro.forest.tree import LEAF
 
 
@@ -49,7 +50,7 @@ def data():
 def packed_engine():
     set_prediction_engine("packed")
     yield
-    set_prediction_engine("packed")
+    set_prediction_engine(DEFAULT_ENGINE)
 
 
 class TestEquivalence:

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._ascii import line_chart
 from ..gam.diagnostics import diagnose
-from ..viz.ascii import line_chart
 from .explanation import GEFExplanation
 
 __all__ = ["explanation_report"]

@@ -9,12 +9,19 @@ baseline for grandfathered findings, and text/JSON reporters.  Run it as
 ``tests/devtools/test_check_gate.py``.  DESIGN.md §8 has the
 architecture and rule catalog.
 
+With ``repro check --deep`` the per-file rules are joined by the
+whole-program passes of :mod:`repro.devtools.analysis` (DESIGN.md §13):
+lock-discipline verification of the typed thread-safety registry,
+RNG-determinism taint, serve exception-flow coverage, and architecture
+layering / import-cycle enforcement over a shared project graph.
+
 Alongside the linter lives :mod:`repro.devtools.faultinject`, the
 deterministic fault-injection harness behind the chaos suite
 (DESIGN.md §9): forest corrupters, named-kernel numerics faults, and
 stage kill/stall hooks.
 """
 
+from .analysis import build_project, deep_pass_catalog, run_deep_passes
 from .baseline import filter_baselined, load_baseline, save_baseline
 from .check import main, run_check
 from .engine import LintRule, ModuleContext, lint_file, lint_paths
@@ -26,22 +33,26 @@ from .faultinject import (
     stall_stage,
 )
 from .findings import SEVERITIES, Finding
-from .registry import THREAD_SAFETY_REGISTRY, is_registered
+from .registry import THREAD_SAFETY_REGISTRY, GlobalEntry, get_entry, is_registered
 from .reporters import render_json, render_text
 from .rules import default_rules, rule_catalog
 
 __all__ = [
     "FOREST_FAULTS",
     "Finding",
+    "GlobalEntry",
     "LintRule",
     "ModuleContext",
     "SEVERITIES",
     "THREAD_SAFETY_REGISTRY",
+    "build_project",
     "corrupt_forest",
+    "deep_pass_catalog",
     "default_rules",
     "fail_stage",
     "filter_baselined",
     "force_kernel_fault",
+    "get_entry",
     "stall_stage",
     "is_registered",
     "lint_file",
@@ -52,5 +63,6 @@ __all__ = [
     "render_text",
     "rule_catalog",
     "run_check",
+    "run_deep_passes",
     "save_baseline",
 ]

@@ -1,0 +1,124 @@
+"""Whole-program analysis passes behind ``repro check --deep``.
+
+Where the per-file lint engine (:mod:`repro.devtools.engine`) proves
+*local* invariants one module at a time, the passes in this package prove
+*global* ones over a shared :class:`~repro.devtools.analysis.project.
+ProjectGraph` parsed once from ``src/``:
+
+``lock-discipline`` / ``atomic-read`` / ``frozen-mutation``
+    every thread-safety-registry entry's documented discipline actually
+    holds in the source (:mod:`.locks`);
+``rng-unseeded``
+    no ``default_rng``/``as_generator`` call mints unseeded randomness
+    (:mod:`.rngflow`);
+``serve-status-coverage``
+    every taxonomy exception raisable from ``ServeApp.handle`` has a
+    typed-error -> HTTP-status mapping entry (:mod:`.excflow`);
+``layering`` / ``import-cycle``
+    the architecture DAG holds and the module-level import graph is
+    acyclic (:mod:`.layering`).
+
+Findings flow through the same :class:`~repro.devtools.findings.Finding`
+records, inline ``# repro: allow(rule)`` line waivers, file-scope
+``# repro: allow-file(rule)`` pragmas and committed baseline as the
+lint rules, so ``repro check --deep`` is one gate, not two.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..engine import file_waived_rules, line_waived_rules
+from ..findings import Finding
+from .excflow import check_exception_flow
+from .layering import ALLOWED_DEPS, check_layering
+from .locks import check_locks
+from .project import ModuleInfo, ProjectGraph, build_project
+from .rngflow import check_rng_flow
+
+__all__ = [
+    "ALLOWED_DEPS",
+    "ModuleInfo",
+    "ProjectGraph",
+    "apply_waivers",
+    "build_project",
+    "check_exception_flow",
+    "check_layering",
+    "check_locks",
+    "check_rng_flow",
+    "deep_pass_catalog",
+    "run_deep_passes",
+]
+
+#: ``(rule_id, severity, description)`` of every deep-pass rule, in the
+#: shape of :func:`repro.devtools.rules.rule_catalog`.
+_DEEP_CATALOG = (
+    ("lock-discipline", "error",
+     "registered global written outside its registered lock (deep)"),
+    ("atomic-read", "error",
+     "lock-free read of a lock-discipline global outside its sanctioned "
+     "atomic-read sites (deep)"),
+    ("frozen-mutation", "error",
+     "frozen-after-import global mutated after import (deep)"),
+    ("rng-unseeded", "error",
+     "np.random.Generator minted without an explicit seed/random_state "
+     "(deep)"),
+    ("serve-status-coverage", "error",
+     "taxonomy error raisable on the serve path lacks an ERROR_STATUS "
+     "entry (deep)"),
+    ("layering", "error",
+     "import crosses the architecture DAG (e.g. core importing serve) "
+     "(deep)"),
+    ("import-cycle", "error",
+     "module-level import cycle (deep)"),
+)
+
+
+def deep_pass_catalog() -> list[tuple[str, str, str]]:
+    """``(rule_id, severity, description)`` for every deep-pass rule."""
+    return list(_DEEP_CATALOG)
+
+
+def apply_waivers(
+    project: ProjectGraph, findings: list[Finding]
+) -> list[Finding]:
+    """Drop findings waived by line or file-scope pragmas in their file."""
+    kept: list[Finding] = []
+    file_cache: dict[str, frozenset[str]] = {}
+    for finding in findings:
+        info = project.module_of_file(finding.file)
+        if info is None:
+            kept.append(finding)
+            continue
+        if finding.file not in file_cache:
+            file_cache[finding.file] = file_waived_rules(info.lines)
+        if finding.rule_id in file_cache[finding.file]:
+            continue
+        if finding.rule_id in line_waived_rules(info.lines, finding.line):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def run_deep_passes(
+    root: Path | str, src: Path | str | None = None
+) -> list[Finding]:
+    """Run every whole-program pass over the project rooted at ``root``.
+
+    ``src`` defaults to ``<root>/src`` (falling back to ``root`` itself
+    when there is no ``src/`` directory, so fixture trees work).  Returns
+    waiver-filtered findings sorted like :func:`~repro.devtools.engine.
+    lint_paths` output; baseline matching is the caller's job.
+    """
+    root = Path(root).resolve()
+    if src is None:
+        candidate = root / "src"
+        src = candidate if candidate.is_dir() else root
+    project = build_project(src, root=root)
+    findings: list[Finding] = []
+    findings.extend(check_locks(project))
+    findings.extend(check_rng_flow(project))
+    findings.extend(check_exception_flow(project))
+    findings.extend(check_layering(project))
+    findings = apply_waivers(project, findings)
+    return sorted(findings, key=lambda f: (f.file, f.line, f.rule_id, f.message))

@@ -1,0 +1,195 @@
+"""Exception-flow pass: the serve path's typed-error → status coverage.
+
+``ServeApp.handle`` promises "errors become statuses, never tracebacks".
+That promise is only as good as the typed-error → HTTP-status mapping it
+consults (``repro.serve.app.ERROR_STATUS``): a taxonomy exception type
+raisable somewhere down the serve call graph but absent from the mapping
+degrades into an anonymous 500 with a generic kind — a silent 500.
+
+This pass proves full coverage mechanically:
+
+1. Read the taxonomy class hierarchy from ``repro.core.errors`` (every
+   class transitively based on ``ReproError``).
+2. Read the keys of the module-level ``ERROR_STATUS`` dict display in
+   ``repro.serve.app``.
+3. Walk the call graph reachable from ``ServeApp.handle``.  Resolution is
+   conservative: direct calls resolve through imports and module-level
+   defs; attribute calls *and* bare references to known definition names
+   (callbacks like ``self._fit_surrogate`` handed to the surrogate
+   cache) link to every project definition with that name.  The
+   over-approximation can only add raisable types, never hide one.
+4. Every ``raise`` of a taxonomy class inside a reachable function must
+   have its *exact* class as an ``ERROR_STATUS`` key — coverage through
+   a base class is deliberately not enough, so adding a new taxonomy
+   type forces a conscious status decision.
+
+Rule id: ``serve-status-coverage`` (error).  Keys that are not taxonomy
+classes are flagged too (typo guard).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from ..findings import Finding
+from .project import ModuleInfo, ProjectGraph
+
+__all__ = ["check_exception_flow"]
+
+_ERRORS_MODULE = "repro.core.errors"
+_APP_MODULE = "repro.serve.app"
+_MAPPING_NAME = "ERROR_STATUS"
+_ROOT_QUALNAME = "ServeApp.handle"
+_TAXONOMY_ROOT = "ReproError"
+
+
+def _taxonomy_classes(errors_info: ModuleInfo, root: str) -> frozenset[str]:
+    """Names of every class in the errors module descending from ``root``."""
+    bases: dict[str, set[str]] = {}
+    for node in errors_info.tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = {
+                b.id for b in node.bases if isinstance(b, ast.Name)
+            }
+    taxonomy = {root}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in taxonomy and parents & taxonomy:
+                taxonomy.add(name)
+                changed = True
+    return frozenset(taxonomy) & (frozenset(bases) | {root})
+
+
+def _mapping_keys(app_info: ModuleInfo) -> tuple[frozenset[str], int] | None:
+    """Class-name keys of the ``ERROR_STATUS`` dict display, plus its line."""
+    node = app_info.module_assigns.get(_MAPPING_NAME)
+    value = getattr(node, "value", None)
+    if not isinstance(value, ast.Dict):
+        return None
+    keys = frozenset(
+        key.id for key in value.keys if isinstance(key, ast.Name)
+    )
+    return keys, node.lineno
+
+
+def _reachable_functions(
+    project: ProjectGraph, root_module: str, root_qualname: str
+) -> list[tuple[ModuleInfo, str, ast.AST]]:
+    """Defs reachable from the root via conservative name resolution."""
+    start_info = project.modules.get(root_module)
+    if start_info is None or root_qualname not in start_info.defs:
+        return []
+    seen: set[tuple[str, str]] = set()
+    queue: deque[tuple[ModuleInfo, str]] = deque([(start_info, root_qualname)])
+    out: list[tuple[ModuleInfo, str, ast.AST]] = []
+    while queue:
+        info, qualname = queue.popleft()
+        key = (info.name, qualname)
+        if key in seen:
+            continue
+        seen.add(key)
+        node = info.defs[qualname]
+        out.append((info, qualname, node))
+        if isinstance(node, ast.ClassDef):
+            # Instantiating a class reaches its constructor.
+            init = f"{qualname}.__init__"
+            if init in info.defs:
+                queue.append((info, init))
+            continue
+        for child in ast.walk(node):
+            targets: list[tuple[ModuleInfo, str]] = []
+            if isinstance(child, ast.Attribute):
+                for t_info, t_qual, _ in project.defs_by_name.get(
+                    child.attr, ()
+                ):
+                    targets.append((t_info, t_qual))
+            elif isinstance(child, ast.Name) and isinstance(
+                child.ctx, ast.Load
+            ):
+                dotted = info.dotted(child)
+                if dotted is not None:
+                    mod_name, _, bare = dotted.rpartition(".")
+                    t_info = project.modules.get(mod_name)
+                    if t_info is not None and bare in t_info.defs:
+                        targets.append((t_info, bare))
+            for target in targets:
+                if (target[0].name, target[1]) not in seen:
+                    queue.append(target)
+    return out
+
+
+def check_exception_flow(
+    project: ProjectGraph,
+    errors_module: str = _ERRORS_MODULE,
+    app_module: str = _APP_MODULE,
+    root_qualname: str = _ROOT_QUALNAME,
+    taxonomy_root: str = _TAXONOMY_ROOT,
+) -> list[Finding]:
+    """Prove every taxonomy type raisable on the serve path is mapped."""
+    errors_info = project.modules.get(errors_module)
+    app_info = project.modules.get(app_module)
+    if errors_info is None or app_info is None:
+        return []  # trees without a serve layer have nothing to prove
+    taxonomy = _taxonomy_classes(errors_info, taxonomy_root)
+    mapping = _mapping_keys(app_info)
+    if mapping is None:
+        return [
+            Finding(
+                file=app_info.path, line=1,
+                rule_id="serve-status-coverage", severity="error",
+                message=f"{app_module} defines no module-level "
+                f"{_MAPPING_NAME} dict display for the typed-error -> "
+                f"HTTP-status mapping",
+            )
+        ]
+    keys, mapping_line = mapping
+    findings: list[Finding] = []
+    for key in sorted(keys - taxonomy):
+        findings.append(
+            Finding(
+                file=app_info.path, line=mapping_line,
+                rule_id="serve-status-coverage", severity="error",
+                message=f"{_MAPPING_NAME} key `{key}` is not a class of the "
+                f"{errors_module} taxonomy",
+            )
+        )
+    reachable = _reachable_functions(project, app_module, root_qualname)
+    raised = _raised_taxonomy_types(reachable, taxonomy, errors_module)
+    for name in sorted(set(raised) - keys):
+        path, line, qualname = raised[name]
+        findings.append(
+            Finding(
+                file=app_info.path, line=mapping_line,
+                rule_id="serve-status-coverage", severity="error",
+                message=f"`{name}` is raisable on the serve path (e.g. "
+                f"`{qualname}` in {path}) but has no {_MAPPING_NAME} entry",
+            )
+        )
+    return findings
+
+
+def _raised_taxonomy_types(
+    reachable: list[tuple[ModuleInfo, str, ast.AST]],
+    taxonomy: frozenset[str],
+    errors_module: str,
+) -> dict[str, tuple[str, int, str]]:
+    """Taxonomy class name -> one example (file, line, qualname) raise site."""
+    raised: dict[str, tuple[str, int, str]] = {}
+    for info, qualname, node in reachable:
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Raise) or child.exc is None:
+                continue
+            exc = child.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            dotted = info.dotted(exc)
+            if dotted is None:
+                continue
+            mod_name, _, bare = dotted.rpartition(".")
+            if mod_name != errors_module or bare not in taxonomy:
+                continue
+            raised.setdefault(bare, (info.path, child.lineno, qualname))
+    return raised

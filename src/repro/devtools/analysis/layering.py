@@ -1,0 +1,193 @@
+"""Architecture layering pass: enforced dependency DAG + cycle detection.
+
+Two invariants, both cheap to state and expensive to recover once lost:
+
+**Forbidden edges.**  Each top-level package of ``repro`` belongs to a
+layer with an explicit set of packages it may depend on.  The load-bearing
+rules: the computational layers (``core``/``forest``/``gam`` and their
+peers) must never import the presentation and operations layers
+(``serve``/``cli``/``viz``/``devtools``), and the leaf utilities
+(``_rng``, ``_ascii``, ``obs``) import nothing of ``repro`` above
+themselves.  Checked on *every* import — module-level and lazy alike — a
+function-level ``from ..viz import x`` inside ``core`` is still an
+architecture violation, just a better-hidden one.
+
+**No import cycles.**  The module-level import graph (the one Python
+actually executes at import time) must be acyclic; lazy imports are the
+sanctioned cycle-breaking mechanism and are excluded.  Cycles are
+reported once per strongly connected component.
+
+Rule ids: ``layering`` and ``import-cycle`` (both errors).
+"""
+
+from __future__ import annotations
+
+from ..findings import Finding
+from .project import ProjectGraph
+
+__all__ = ["ALLOWED_DEPS", "check_layering"]
+
+#: Top-level package -> packages it may import (itself always allowed).
+#: Packages absent from this table (and the root ``repro`` facade,
+#: ``cli`` and ``__main__``) may import anything — they are the top of
+#: the stack by definition.
+ALLOWED_DEPS: dict[str, frozenset[str]] = {
+    # Leaf utilities: importable from every layer, import nothing back.
+    "_rng": frozenset(),
+    "_ascii": frozenset(),
+    "obs": frozenset({"_rng", "_ascii"}),
+    # Computational layers.
+    "metrics": frozenset({"_rng", "_ascii", "obs"}),
+    "cluster": frozenset({"_rng", "_ascii", "obs"}),
+    "datasets": frozenset({"_rng", "_ascii", "obs"}),
+    "gam": frozenset({"_rng", "_ascii", "obs", "core"}),
+    "forest": frozenset({"_rng", "_ascii", "obs", "core"}),
+    "xai": frozenset({"_rng", "_ascii", "obs", "core", "forest"}),
+    "core": frozenset(
+        {"_rng", "_ascii", "obs", "metrics", "cluster", "datasets",
+         "gam", "forest", "xai"}
+    ),
+    # Presentation / operations layers.
+    "viz": frozenset(
+        {"_rng", "_ascii", "obs", "metrics", "core", "gam", "forest"}
+    ),
+    "serve": frozenset(
+        {"_rng", "_ascii", "obs", "metrics", "core", "gam", "forest",
+         "cluster", "datasets", "xai"}
+    ),
+    "devtools": frozenset(
+        {"_rng", "_ascii", "obs", "metrics", "core", "gam", "forest",
+         "cluster", "datasets", "xai", "viz", "serve"}
+    ),
+}
+
+_ROOT = "repro"
+
+
+def _group(module: str) -> str | None:
+    """Top-level package of a dotted ``repro`` module name, else ``None``."""
+    if module == _ROOT:
+        return ""
+    prefix = _ROOT + "."
+    if not module.startswith(prefix):
+        return None
+    return module[len(prefix):].split(".", 1)[0]
+
+
+def check_layering(
+    project: ProjectGraph,
+    allowed: dict[str, frozenset[str]] | None = None,
+) -> list[Finding]:
+    """Forbidden-edge findings plus module-level import-cycle findings."""
+    allowed = ALLOWED_DEPS if allowed is None else allowed
+    findings: list[Finding] = []
+    for info in project.modules.values():
+        source = _group(info.name)
+        if source is None or source not in allowed:
+            continue
+        permitted = allowed[source]
+        for target_module in sorted(info.all_imports):
+            target = _group(target_module)
+            if target is None or target == source:
+                continue
+            if target == "" or target not in permitted:
+                findings.append(
+                    Finding(
+                        file=info.path,
+                        line=info.import_lines.get(target_module, 1),
+                        rule_id="layering",
+                        severity="error",
+                        message=f"{info.name} (layer `{source}`) imports "
+                        f"{target_module} (layer `{target or 'repro'}`), "
+                        f"which the architecture DAG forbids",
+                    )
+                )
+    findings.extend(_cycle_findings(project))
+    return findings
+
+
+def _cycle_findings(project: ProjectGraph) -> list[Finding]:
+    """One finding per module-level import cycle (Tarjan SCCs > 1)."""
+    graph: dict[str, list[str]] = {}
+    for info in project.modules.values():
+        graph[info.name] = sorted(
+            t for t in info.module_imports if t in project.modules
+        )
+    index_counter = [0]
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    sccs: list[list[str]] = []
+
+    def strongconnect(node: str) -> None:
+        # Iterative Tarjan: recursion depth would scale with the module
+        # count otherwise.
+        work = [(node, iter(graph[node]))]
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            v, neighbors = work[-1]
+            advanced = False
+            for w in neighbors:
+                if w not in index:
+                    index[w] = lowlink[w] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(graph[w])))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+    for name in sorted(graph):
+        if name not in index:
+            strongconnect(name)
+
+    findings = []
+    for component in sorted(sccs):
+        anchor = project.modules[component[0]]
+        findings.append(
+            Finding(
+                file=anchor.path,
+                line=1,
+                rule_id="import-cycle",
+                severity="error",
+                message="module-level import cycle: "
+                + " -> ".join(component + [component[0]]),
+            )
+        )
+    # Self-loops (a module importing itself) are degenerate cycles too.
+    for name, targets in sorted(graph.items()):
+        if name in targets:
+            info = project.modules[name]
+            findings.append(
+                Finding(
+                    file=info.path,
+                    line=info.import_lines.get(name, 1),
+                    rule_id="import-cycle",
+                    severity="error",
+                    message=f"module-level import cycle: {name} imports "
+                    f"itself",
+                )
+            )
+    return findings

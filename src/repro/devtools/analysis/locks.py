@@ -1,0 +1,297 @@
+"""Lock-discipline verification of the thread-safety registry.
+
+The per-file ``global-state`` lint rule only checks that a module-level
+mutable object *appears* in :data:`~repro.devtools.registry.
+THREAD_SAFETY_REGISTRY` — the registry itself was a trust-based
+allowlist.  This pass closes the loop: for every registered
+:class:`~repro.devtools.registry.GlobalEntry` it mechanically proves the
+documented discipline holds in the source.
+
+``lock`` discipline
+    The named lock must exist as a module-level ``threading.Lock()`` /
+    ``RLock()``.  Every write to the global inside a function — rebind,
+    ``del``, subscript store, or mutating method call — must sit
+    lexically inside ``with <lock>:``.  Every *read* inside a function
+    outside the lock must be a sanctioned atomic-read site (the entry's
+    ``atomic_reads`` tuple names the function qualnames whose lock-free
+    fast path is intentional: single references that are atomic under
+    the GIL).
+
+``frozen-after-import`` discipline
+    The global is built by module-level statements at import and must
+    have *zero* mutation sites afterwards: no function-scope writes in
+    the owning module and no attribute writes from any other module.
+
+Rule ids: ``lock-discipline`` (unguarded write, missing lock/global,
+registry drift), ``atomic-read`` (unsanctioned lock-free read),
+``frozen-mutation`` (post-import mutation of a frozen global).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..registry import THREAD_SAFETY_REGISTRY, GlobalEntry
+from .project import ModuleInfo, ProjectGraph
+
+__all__ = ["check_locks"]
+
+#: Method names whose call mutates the receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault", "add", "discard", "sort", "reverse",
+        "appendleft", "extendleft", "rotate", "__setitem__", "__delitem__",
+    }
+)
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+
+def _finding(info: ModuleInfo, node: ast.AST | int, rule_id: str, msg: str) -> Finding:
+    line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+    return Finding(
+        file=info.path, line=line, rule_id=rule_id,
+        severity="error", message=msg,
+    )
+
+
+def _has_module_level_lock(info: ModuleInfo, lock: str) -> bool:
+    node = info.module_assigns.get(lock)
+    if node is None or not isinstance(node, (ast.Assign, ast.AnnAssign)):
+        return False
+    value = node.value
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+    return name in _LOCK_FACTORIES
+
+
+def _under_lock(info: ModuleInfo, node: ast.AST, lock: str) -> bool:
+    """Whether ``node`` sits lexically inside ``with <lock>:``."""
+    for ancestor in info.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and expr.id == lock:
+                    return True
+    return False
+
+
+def _classify(info: ModuleInfo, name_node: ast.Name) -> str:
+    """``"write"``, ``"read"``, or ``"decl"`` for one occurrence of a
+    registered global's name."""
+    if isinstance(name_node.ctx, (ast.Store, ast.Del)):
+        return "write"
+    parent = info.parent(name_node)
+    if isinstance(parent, ast.Subscript) and parent.value is name_node:
+        if isinstance(parent.ctx, (ast.Store, ast.Del)):
+            return "write"
+    if isinstance(parent, ast.Attribute) and parent.value is name_node:
+        if isinstance(parent.ctx, (ast.Store, ast.Del)):
+            return "write"
+        grand = info.parent(parent)
+        if (
+            isinstance(grand, ast.Call)
+            and grand.func is parent
+            and parent.attr in _MUTATORS
+        ):
+            return "write"
+    return "read"
+
+
+def _declares_global(func: ast.AST, name: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global) and name in node.names:
+            return True
+    return False
+
+
+def _shadows(func: ast.AST, name: str) -> bool:
+    """Whether ``func`` binds ``name`` as a local (param or assignment
+    without a ``global`` statement), making every occurrence inside it a
+    local reference rather than the module global."""
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = func.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        ):
+            if arg.arg == name:
+                return True
+    if _declares_global(func, name):
+        return False
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, ast.Store)
+        ):
+            return True
+    return False
+
+
+def _function_occurrences(info: ModuleInfo, name: str):
+    """Every ``Name`` occurrence of ``name`` inside a function body that
+    actually refers to the module global — occurrences inside functions
+    that shadow ``name`` with a local (the ``global-state`` rule's scope
+    model ignores those too) are skipped."""
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Name) or node.id != name:
+            continue
+        func = info.enclosing_function(node)
+        if func is None:
+            continue
+        shadowed = False
+        for scope in (func, *info.ancestors(func)):
+            if isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ) and _shadows(scope, name):
+                shadowed = True
+                break
+        if shadowed:
+            continue
+        yield node, func
+
+
+def _check_lock_entry(
+    info: ModuleInfo, entry: GlobalEntry, findings: list[Finding]
+) -> None:
+    if entry.lock not in info.module_assigns:
+        findings.append(
+            _finding(
+                info, 1, "lock-discipline",
+                f"registry names lock `{entry.lock}` for `{entry.name}` but "
+                f"the module defines no such module-level lock",
+            )
+        )
+        return
+    if not _has_module_level_lock(info, entry.lock):
+        findings.append(
+            _finding(
+                info, info.module_assigns[entry.lock], "lock-discipline",
+                f"`{entry.lock}` is not a module-level threading.Lock()/"
+                f"RLock() as the registry entry for `{entry.name}` claims",
+            )
+        )
+    for node, func in _function_occurrences(info, entry.name):
+        guarded = _under_lock(info, node, entry.lock)
+        kind = _classify(info, node)
+        if kind == "write":
+            if not guarded:
+                findings.append(
+                    _finding(
+                        info, node, "lock-discipline",
+                        f"write to `{entry.name}` outside `with "
+                        f"{entry.lock}:` (registered lock discipline)",
+                    )
+                )
+        elif not guarded:
+            site = info.qualname(func)
+            if site not in entry.atomic_reads:
+                findings.append(
+                    _finding(
+                        info, node, "atomic-read",
+                        f"lock-free read of `{entry.name}` in `{site}` is "
+                        f"not a sanctioned atomic-read site of its registry "
+                        f"entry",
+                    )
+                )
+
+
+def _check_frozen_entry(
+    info: ModuleInfo, entry: GlobalEntry, findings: list[Finding]
+) -> None:
+    for node, func in _function_occurrences(info, entry.name):
+        if _classify(info, node) != "write":
+            continue
+        findings.append(
+            _finding(
+                info, node, "frozen-mutation",
+                f"`{entry.name}` is registered frozen-after-import but is "
+                f"mutated in `{info.qualname(func)}`",
+            )
+        )
+
+
+def _check_cross_module_writes(
+    project: ProjectGraph, entry: GlobalEntry, findings: list[Finding]
+) -> None:
+    rule = (
+        "frozen-mutation"
+        if entry.discipline == "frozen-after-import"
+        else "lock-discipline"
+    )
+    for info in project.modules.values():
+        if info.name == entry.module:
+            continue
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Attribute) or node.attr != entry.name:
+                continue
+            mutated = isinstance(node.ctx, (ast.Store, ast.Del))
+            parent = info.parent(node)
+            if (
+                isinstance(parent, ast.Subscript)
+                and parent.value is node
+                and isinstance(parent.ctx, (ast.Store, ast.Del))
+            ):
+                mutated = True
+            if (
+                isinstance(parent, ast.Attribute)
+                and parent.value is node
+                and parent.attr in _MUTATORS
+            ):
+                grand = info.parent(parent)
+                if isinstance(grand, ast.Call) and grand.func is parent:
+                    mutated = True
+            if not mutated:
+                continue
+            if info.dotted(node.value) == entry.module:
+                findings.append(
+                    _finding(
+                        info, node, rule,
+                        f"cross-module write to {entry.module}.{entry.name} "
+                        f"(its {entry.discipline} discipline is owned by "
+                        f"the defining module)",
+                    )
+                )
+
+
+def check_locks(
+    project: ProjectGraph,
+    registry: Iterable[GlobalEntry] | None = None,
+) -> list[Finding]:
+    """Verify every registry entry's discipline against the source.
+
+    ``registry`` defaults to the committed
+    :data:`~repro.devtools.registry.THREAD_SAFETY_REGISTRY` values;
+    tests pass synthetic entries against fixture trees.
+    """
+    entries = (
+        list(THREAD_SAFETY_REGISTRY.values())
+        if registry is None
+        else list(registry)
+    )
+    findings: list[Finding] = []
+    for entry in entries:
+        info = project.modules.get(entry.module)
+        if info is None:
+            continue  # registry may cover modules outside the analyzed tree
+        if entry.name not in info.module_assigns:
+            findings.append(
+                _finding(
+                    info, 1, "lock-discipline",
+                    f"registered global `{entry.name}` is not bound at "
+                    f"module level in {entry.module} (registry drift)",
+                )
+            )
+            continue
+        if entry.discipline == "lock":
+            _check_lock_entry(info, entry, findings)
+        else:
+            _check_frozen_entry(info, entry, findings)
+        _check_cross_module_writes(project, entry, findings)
+    return findings

@@ -1,0 +1,207 @@
+"""RNG-determinism taint pass: no unseeded generator creation in ``src/``.
+
+The bitwise-identity claims of the prediction engines and the
+deterministic retry/fault-injection machinery all rest on one premise:
+every ``np.random.Generator`` in the pipeline is derived from an explicit
+``random_state``/``seed`` that the caller controls.  The per-file
+``rng-global-state`` rule bans the legacy global-state API; this pass
+covers the remaining hole — ``default_rng()`` / ``as_generator()`` called
+with *no* seed (or a literal ``None``), which draws fresh OS entropy and
+silently de-determinizes D* sampling, retries and loadgen.
+
+For every call whose callee resolves to ``numpy.random.default_rng`` or
+``repro._rng.as_generator``, the seed argument (first positional, or the
+``seed`` / ``random_state`` keyword) must be *seeded*: an int literal, a
+parameter of the enclosing function (the caller decides), an attribute
+rooted at a parameter or ``self`` (config/instance state), or any
+expression composed of seeded parts (``[seed, i]`` spawn keys,
+``seed + stride * attempt``, ``int(seed)``, ``rng.integers(...)``).
+
+Intraprocedural only: a local name is seeded when every assignment to it
+in the function is seeded.  Rule id: ``rng-unseeded`` (error).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from .project import ModuleInfo, ProjectGraph
+
+__all__ = ["check_rng_flow"]
+
+#: Callees whose call mints a new Generator and therefore needs a seed.
+_GENERATOR_FACTORIES = frozenset(
+    {"numpy.random.default_rng", "repro._rng.as_generator"}
+)
+
+_SEED_KEYWORDS = ("random_state", "seed")
+
+
+def _params_of(info: ModuleInfo, func: ast.AST) -> frozenset[str]:
+    """Parameter names of ``func`` and every enclosing function."""
+    names: set[str] = set()
+    cursor: ast.AST | None = func
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = cursor.args
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg)),
+            ):
+                names.add(arg.arg)
+        cursor = info.parent(cursor)
+    return frozenset(names)
+
+
+def _local_assignments(func: ast.AST) -> dict[str, list[ast.AST]]:
+    """Every value expression assigned to each local name in ``func``."""
+    out: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and node.value is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.setdefault(target.id, []).append(node.value)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                out.setdefault(node.target.id, []).append(node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            # Loop indices count as seeded derivation material only when
+            # the iterable is — too deep for this pass; treat the loop
+            # variable as seeded (it enumerates a deterministic range in
+            # every call site this repo has: spawn keys, retry attempts).
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    out.setdefault(target.id, []).append(ast.Constant(value=0))
+    return out
+
+
+def _is_seeded(
+    expr: ast.AST,
+    params: frozenset[str],
+    assigns: dict[str, list[ast.AST]],
+    module_consts: dict[str, ast.AST],
+    _seen: frozenset[str] = frozenset(),
+) -> bool:
+    if isinstance(expr, ast.Constant):
+        # int literals (bools included) are seeds; None/str/float are not.
+        return isinstance(expr.value, int)
+    if isinstance(expr, ast.Name):
+        if expr.id in params:
+            return True
+        if expr.id in _seen:
+            return False
+        values = assigns.get(expr.id)
+        if values:
+            return all(
+                _is_seeded(v, params, assigns, module_consts, _seen | {expr.id})
+                for v in values
+            )
+        const = module_consts.get(expr.id)
+        return const is not None and _is_seeded(
+            const, params, assigns, module_consts, _seen | {expr.id}
+        )
+    if isinstance(expr, ast.Attribute):
+        root = expr
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name):
+            return root.id in params or root.id in ("self", "cls")
+        return False
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        return bool(expr.elts) and all(
+            _is_seeded(e, params, assigns, module_consts, _seen)
+            for e in expr.elts
+        )
+    if isinstance(expr, ast.BinOp):
+        return _is_seeded(
+            expr.left, params, assigns, module_consts, _seen
+        ) and _is_seeded(expr.right, params, assigns, module_consts, _seen)
+    if isinstance(expr, ast.UnaryOp):
+        return _is_seeded(expr.operand, params, assigns, module_consts, _seen)
+    if isinstance(expr, ast.IfExp):
+        return _is_seeded(
+            expr.body, params, assigns, module_consts, _seen
+        ) and _is_seeded(expr.orelse, params, assigns, module_consts, _seen)
+    if isinstance(expr, ast.Starred):
+        return _is_seeded(expr.value, params, assigns, module_consts, _seen)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        root = func
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and (
+            root.id in params or root.id in ("self", "cls")
+        ):
+            # Derived from caller-controlled state, e.g. rng.integers(...)
+            # or seq.spawn() on a passed-in SeedSequence.
+            return True
+        if isinstance(func, ast.Name) and func.id in ("int", "abs", "hash"):
+            return any(
+                _is_seeded(a, params, assigns, module_consts, _seen)
+                for a in expr.args
+            )
+        return False
+    return False
+
+
+def _module_int_consts(info: ModuleInfo) -> dict[str, ast.AST]:
+    out: dict[str, ast.AST] = {}
+    for name, node in info.module_assigns.items():
+        value = getattr(node, "value", None)
+        if isinstance(value, ast.Constant) and isinstance(value.value, int):
+            out[name] = value
+    return out
+
+
+def _seed_argument(call: ast.Call) -> ast.AST | None:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg in _SEED_KEYWORDS:
+            return keyword.value
+    return None
+
+
+def check_rng_flow(project: ProjectGraph) -> list[Finding]:
+    """Flag generator-minting calls not fed from an explicit seed."""
+    findings: list[Finding] = []
+    for info in project.modules.values():
+        module_consts = _module_int_consts(info)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = info.dotted(node.func)
+            if target not in _GENERATOR_FACTORIES:
+                continue
+            callee = target.rsplit(".", 1)[-1]
+            func = info.enclosing_function(node)
+            seed = _seed_argument(node)
+            if seed is None:
+                # as_generator's own default (None -> fresh entropy) is
+                # the one sanctioned opt-in; a *call site* passing
+                # nothing loses determinism silently.
+                findings.append(
+                    Finding(
+                        file=info.path, line=node.lineno,
+                        rule_id="rng-unseeded", severity="error",
+                        message=f"{callee}() called with no seed argument; "
+                        f"feed it a random_state parameter or literal seed",
+                    )
+                )
+                continue
+            params = (
+                _params_of(info, func) if func is not None else frozenset()
+            )
+            assigns = _local_assignments(func) if func is not None else {}
+            if not _is_seeded(seed, params, assigns, module_consts):
+                findings.append(
+                    Finding(
+                        file=info.path, line=node.lineno,
+                        rule_id="rng-unseeded", severity="error",
+                        message=f"{callee}({ast.unparse(seed)}) is not "
+                        f"provably seeded: the argument must derive from a "
+                        f"random_state/seed parameter or an int literal",
+                    )
+                )
+    return findings

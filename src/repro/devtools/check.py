@@ -1,10 +1,16 @@
 """The ``repro check`` command: lint the tree against the baseline.
 
+With ``--deep`` the per-file lint pass is followed by the whole-program
+analysis passes of :mod:`repro.devtools.analysis` (lock discipline, RNG
+taint, serve exception flow, layering) over the project's ``src/`` tree;
+their findings merge into the same report, waiver and baseline flow.
+
 Exit codes: 0 clean (every finding baselined, no stranded entries),
 1 non-baselined findings (or stranded baseline entries without
 ``--update-baseline``), 2 usage errors.  The same function backs the
 ``repro check`` subcommand, the ``repro-check`` console script and the
-tier-1 pytest gate in ``tests/devtools/test_check_gate.py``.
+tier-1 pytest gates in ``tests/devtools/test_check_gate.py`` and
+``tests/devtools/analysis/test_deep_gate.py``.
 """
 
 from __future__ import annotations
@@ -39,9 +45,11 @@ def run_check(
     baseline: str | Path | None = None,
     output_format: str = "text",
     update_baseline: bool = False,
+    deep: bool = False,
     stream=None,
 ) -> int:
-    """Lint ``paths`` and report; returns the process exit code."""
+    """Lint ``paths`` (and with ``deep``, analyze the whole program);
+    returns the process exit code."""
     stream = sys.stdout if stream is None else stream
     root = find_project_root(Path(paths[0]) if paths else None)
     if not paths:
@@ -49,6 +57,15 @@ def run_check(
         paths = [src if src.is_dir() else root]
     baseline_path = Path(baseline) if baseline else root / BASELINE_NAME
     findings = lint_paths([Path(p) for p in paths], default_rules(), root=root)
+    if deep:
+        # Whole-program passes always analyze the project's source tree:
+        # partial path selections cannot answer whole-program questions.
+        from .analysis import run_deep_passes
+
+        findings = sorted(
+            findings + run_deep_passes(root),
+            key=lambda f: (f.file, f.line, f.rule_id, f.message),
+        )
     entries = load_baseline(baseline_path)
     fresh, stranded = filter_baselined(findings, entries)
     baselined = len(findings) - len(fresh)
@@ -88,15 +105,25 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
              "(keeps reasons, drops stranded entries)",
     )
     parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program analysis passes (lock "
+             "discipline, RNG taint, serve exception flow, layering) "
+             "over the project's src/ tree",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalog and exit",
+        help="print the rule catalog (deep passes included) and exit",
     )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Dispatch parsed ``check`` arguments (shared CLI glue)."""
     if args.list_rules:
-        for rule_id, severity, description in rule_catalog():
+        from .analysis import deep_pass_catalog
+
+        for rule_id, severity, description in (
+            rule_catalog() + deep_pass_catalog()
+        ):
             print(f"{rule_id:22s} {severity:8s} {description}")
         return 0
     return run_check(
@@ -104,6 +131,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         baseline=args.baseline,
         output_format=args.output_format,
         update_baseline=args.update_baseline,
+        deep=args.deep,
     )
 
 

@@ -12,8 +12,15 @@ Intentional violations are waived at the source line with::
     risky == 0.0  # repro: allow(float-eq) exact sentinel, see test_x
 
 which keeps the justification next to the code instead of in the
-baseline.  The baseline (``baseline.py``) is for *grandfathered* findings
-only — new code is expected to lint clean or carry an inline waiver.
+baseline.  Findings that no single line can own — whole-program pass
+results (lock discipline, layering) or rules that fire on many lines of
+one file for the same architectural reason — are waived for the whole
+file with a file-scope pragma on any line::
+
+    # repro: allow-file(layering) presentation shim, see DESIGN.md §13
+
+The baseline (``baseline.py``) is for *grandfathered* findings only —
+new code is expected to lint clean or carry an inline waiver.
 """
 
 from __future__ import annotations
@@ -28,12 +35,41 @@ from .findings import Finding
 __all__ = [
     "LintRule",
     "ModuleContext",
+    "file_waived_rules",
+    "line_waived_rules",
     "lint_file",
     "lint_paths",
     "module_name_for",
 ]
 
 _PRAGMA = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+_FILE_PRAGMA = re.compile(r"#\s*repro:\s*allow-file\(([^)]*)\)")
+
+
+def line_waived_rules(lines: list[str], line: int) -> frozenset[str]:
+    """Rule ids waived by a ``# repro: allow(...)`` pragma on ``line``."""
+    if not 1 <= line <= len(lines):
+        return frozenset()
+    match = _PRAGMA.search(lines[line - 1])
+    if match is None:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def file_waived_rules(lines: list[str]) -> frozenset[str]:
+    """Rule ids waived for the whole file by ``# repro: allow-file(...)``."""
+    waived: set[str] = set()
+    for text in lines:
+        match = _FILE_PRAGMA.search(text)
+        if match is not None:
+            waived.update(
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+    return frozenset(waived)
 
 
 class LintRule:
@@ -64,6 +100,7 @@ class ModuleContext:
         self.tree = tree
         self.lines = source.splitlines()
         self.findings: list[Finding] = []
+        self._file_waived = file_waived_rules(self.lines)
         self._parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
@@ -78,18 +115,11 @@ class ModuleContext:
         return isinstance(self.parent(node), ast.Module)
 
     def waived_rules(self, line: int) -> frozenset[str]:
-        """Rule ids waived by a ``# repro: allow(...)`` pragma on ``line``."""
-        if not 1 <= line <= len(self.lines):
-            return frozenset()
-        match = _PRAGMA.search(self.lines[line - 1])
-        if match is None:
-            return frozenset()
-        return frozenset(
-            part.strip() for part in match.group(1).split(",") if part.strip()
-        )
+        """Rule ids waived on ``line`` (line pragma plus file-scope pragma)."""
+        return line_waived_rules(self.lines, line) | self._file_waived
 
     def report(self, rule: LintRule, node: ast.AST | int, message: str) -> None:
-        """Record a finding unless the offending line carries a waiver."""
+        """Record a finding unless the line (or the file) carries a waiver."""
         line = node if isinstance(node, int) else getattr(node, "lineno", 1)
         if rule.rule_id in self.waived_rules(line):
             return

@@ -161,7 +161,11 @@ class GlobalStateRule(LintRule):
     )
     node_types = (ast.Global, ast.Assign, ast.AnnAssign)
 
-    def __init__(self, registry: dict[tuple[str, str], str] | None = None):
+    def __init__(self, registry: dict[tuple[str, str], object] | None = None):
+        # Only membership of (module, name) keys matters here; the typed
+        # GlobalEntry values are consumed by the deep lock-discipline
+        # pass (repro.devtools.analysis.locks), which *proves* each
+        # entry's discipline instead of trusting it.
         self.registry = THREAD_SAFETY_REGISTRY if registry is None else registry
 
     def _registered(self, ctx, name: str) -> bool:
@@ -531,7 +535,7 @@ class AdhocTimingRule(LintRule):
 
 
 def default_rules(
-    registry: dict[tuple[str, str], str] | None = None,
+    registry: dict[tuple[str, str], object] | None = None,
 ) -> list[LintRule]:
     """One instance of every rule, wired to the thread-safety ``registry``
     (the committed :data:`~repro.devtools.registry.THREAD_SAFETY_REGISTRY`

@@ -38,9 +38,15 @@ import numpy as np
 from ..core.config import GEFConfig
 from ..core.errors import (
     BadRequestError,
+    FitDivergenceError,
+    ForestValidationError,
     ModelNotFoundError,
     ReproError,
+    SamplingError,
+    SelectionError,
+    ServeError,
     ShedError,
+    StageFailureError,
     StageTimeoutError,
 )
 from ..obs.metrics import (
@@ -54,10 +60,32 @@ from .batcher import MicroBatcher
 from .registry import ModelEntry, ModelRegistry
 from .surrogate import SurrogateCache
 
-__all__ = ["Response", "ServeApp", "ServeConfig"]
+__all__ = ["ERROR_STATUS", "Response", "ServeApp", "ServeConfig"]
 
 _JSON = "application/json"
 _PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Typed-error -> ``(HTTP status, payload kind)`` mapping, consulted per
+#: request by exact class first, then up the MRO.  A ``None`` kind means
+#: "use the concrete class name" (the 5xx families, where the precise
+#: type is the diagnostic).  The ``repro check --deep`` exception-flow
+#: pass (DESIGN.md §13) proves every taxonomy type raisable from
+#: ``ServeApp.handle``'s call graph has an *explicit* entry here, so a
+#: new pipeline error can never degrade into an anonymous 500 silently.
+#: Registered frozen-after-import in the thread-safety registry.
+ERROR_STATUS: dict[type, tuple[int, str | None]] = {
+    ShedError: (429, "shed"),
+    BadRequestError: (400, "bad-request"),
+    ModelNotFoundError: (404, "model-not-found"),
+    StageTimeoutError: (504, "timeout"),
+    ForestValidationError: (500, None),
+    SamplingError: (500, None),
+    SelectionError: (500, None),
+    FitDivergenceError: (500, None),
+    StageFailureError: (500, None),
+    ServeError: (500, None),
+    ReproError: (500, None),
+}
 
 
 @dataclass(frozen=True)
@@ -248,36 +276,8 @@ class ServeApp:
                 response = self._dispatch(
                     method, path, body, endpoint, deadline
                 )
-            except ShedError as exc:
-                response = _json_response(
-                    429, {"error": str(exc), "kind": "shed"}
-                )
-            except BadRequestError as exc:
-                response = _json_response(
-                    400, {"error": str(exc), "kind": "bad-request"}
-                )
-            except ModelNotFoundError as exc:
-                response = _json_response(
-                    404, {"error": str(exc), "kind": "model-not-found"}
-                )
-            except StageTimeoutError as exc:
-                response = _json_response(
-                    504,
-                    {
-                        "error": str(exc),
-                        "kind": "timeout",
-                        "stage": exc.stage,
-                    },
-                )
             except ReproError as exc:
-                response = _json_response(
-                    500,
-                    {
-                        "error": str(exc),
-                        "kind": type(exc).__name__,
-                        "stage": exc.stage,
-                    },
-                )
+                response = self._error_response(exc)
             except Exception as exc:  # repro: allow(broad-except) the serving boundary answers 500, it must never crash the handler thread
                 response = _json_response(
                     500, {"error": str(exc), "kind": "internal"}
@@ -285,6 +285,21 @@ class ServeApp:
             sp.set(status=response.status)
         metric_observe("serve.latency_s", deadline.elapsed())
         return response
+
+    @staticmethod
+    def _error_response(exc: ReproError) -> Response:
+        """Map a typed pipeline error onto its HTTP status via
+        :data:`ERROR_STATUS` (exact class first, then up the MRO)."""
+        status, kind = 500, None
+        for klass in type(exc).__mro__:
+            entry = ERROR_STATUS.get(klass)
+            if entry is not None:
+                status, kind = entry
+                break
+        payload = {"error": str(exc), "kind": kind or type(exc).__name__}
+        if status >= 500:
+            payload["stage"] = exc.stage
+        return _json_response(status, payload)
 
     def _dispatch(
         self, method: str, path: str, body, endpoint: str, deadline: Deadline

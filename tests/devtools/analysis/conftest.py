@@ -1,0 +1,36 @@
+"""Shared fixture helpers for the whole-program analysis pass tests.
+
+Every test builds a throwaway source tree under ``tmp_path`` and parses
+it statically with :func:`repro.devtools.analysis.build_project` —
+nothing from a fixture tree is ever imported or executed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.analysis import build_project
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Write ``{relative_path: source}`` files and parse them as a project.
+
+    Package ``__init__.py`` files are created implicitly for every
+    directory so fixture trees only spell out the interesting modules.
+    """
+
+    def _make(files: dict[str, str]):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            cursor = tmp_path
+            for part in target.parent.relative_to(tmp_path).parts:
+                cursor = cursor / part
+                init = cursor / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+            target.write_text(source)
+        return build_project(tmp_path)
+
+    return _make

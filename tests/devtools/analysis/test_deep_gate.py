@@ -1,0 +1,67 @@
+"""Tier-1 gate: the repo's own source passes ``repro check --deep``.
+
+The whole-program passes are only worth their keep if the committed tree
+actually satisfies them with an *empty* baseline — no grandfathered
+violations — and fast enough to sit in CI unconditionally.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from pathlib import Path
+
+from repro.devtools import load_baseline, run_check
+from repro.devtools.analysis import (
+    build_project,
+    deep_pass_catalog,
+    run_deep_passes,
+)
+from repro.devtools.rules import rule_catalog
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+class TestDeepGate:
+    def test_repo_source_is_deep_clean(self):
+        out = io.StringIO()
+        start = time.perf_counter()
+        code = run_check([REPO_ROOT / "src"], deep=True, stream=out)
+        elapsed = time.perf_counter() - start
+        assert code == 0, out.getvalue()
+        # The deep gate must stay cheap enough to run unconditionally in
+        # CI (the check-deep job budgets 10s of wall time).
+        assert elapsed < 10.0, f"repro check --deep took {elapsed:.1f}s"
+
+    def test_committed_baseline_is_empty(self):
+        assert load_baseline(REPO_ROOT / "lint_baseline.json") == []
+
+    def test_deep_passes_alone_are_clean(self):
+        assert run_deep_passes(REPO_ROOT) == []
+
+
+class TestCatalog:
+    def test_deep_rule_ids_are_disjoint_from_lint_rules(self):
+        lint_ids = {rule_id for rule_id, _, _ in rule_catalog()}
+        deep_ids = {rule_id for rule_id, _, _ in deep_pass_catalog()}
+        assert not lint_ids & deep_ids
+
+    def test_deep_catalog_covers_every_pass_rule(self):
+        assert {rule_id for rule_id, _, _ in deep_pass_catalog()} == {
+            "lock-discipline", "atomic-read", "frozen-mutation",
+            "rng-unseeded", "serve-status-coverage",
+            "layering", "import-cycle",
+        }
+
+
+class TestGraphScale:
+    def test_single_parse_covers_the_whole_tree(self):
+        project = build_project(REPO_ROOT / "src", root=REPO_ROOT)
+        names = set(project.modules)
+        # Spot-check the layers the passes reason about.
+        for expected in (
+            "repro.core.errors", "repro.serve.app", "repro.forest.engines",
+            "repro.devtools.registry", "repro._rng", "repro._ascii",
+        ):
+            assert expected in names
+        assert all(info.path.startswith("src/") for info in project.modules.values())

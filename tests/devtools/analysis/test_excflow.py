@@ -1,0 +1,193 @@
+"""Exception-flow pass: typed-error -> status coverage on the serve path."""
+
+from __future__ import annotations
+
+from repro.devtools.analysis import check_exception_flow
+
+ERRORS = """\
+class Base(Exception):
+    'Doc.'
+
+
+class AError(Base):
+    'Doc.'
+
+
+class BError(AError):
+    'Doc.'
+
+
+class Unrelated(Exception):
+    'Doc.'
+"""
+
+
+def check(project):
+    return check_exception_flow(
+        project,
+        errors_module="fx.core.errors",
+        app_module="fx.serve.app",
+        root_qualname="App.handle",
+        taxonomy_root="Base",
+    )
+
+
+class TestCoverage:
+    def test_fully_mapped_tree_is_clean(self, make_project):
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/serve/app.py": (
+                "from fx.core.errors import AError, Base\n"
+                "ERROR_STATUS = {AError: (400, 'bad'), Base: (500, None)}\n"
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        raise AError('x')\n"
+            ),
+        })
+        assert check(project) == []
+
+    def test_raisable_type_without_entry_is_flagged(self, make_project):
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/serve/app.py": (
+                "from fx.core.errors import AError, Base\n"
+                "ERROR_STATUS = {Base: (500, None)}\n"
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        raise AError('x')\n"
+            ),
+        })
+        findings = check(project)
+        assert [f.rule_id for f in findings] == ["serve-status-coverage"]
+        assert "`AError`" in findings[0].message
+
+    def test_base_class_entry_does_not_cover_subclass(self, make_project):
+        # Exact-class coverage is deliberate: a new taxonomy type must
+        # force a conscious status decision, not inherit a generic 500.
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/serve/app.py": (
+                "from fx.core.errors import AError, BError, Base\n"
+                "ERROR_STATUS = {AError: (400, 'bad'), Base: (500, None)}\n"
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        raise BError('x')\n"
+            ),
+        })
+        findings = check(project)
+        assert any("`BError`" in f.message for f in findings)
+
+
+class TestReachability:
+    def test_raise_in_called_helper_module_is_found(self, make_project):
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/core/work.py": (
+                "from fx.core.errors import BError\n"
+                "def crunch():\n"
+                "    'Doc.'\n"
+                "    raise BError('x')\n"
+            ),
+            "fx/serve/app.py": (
+                "from fx.core.errors import Base\n"
+                "from fx.core.work import crunch\n"
+                "ERROR_STATUS = {Base: (500, None)}\n"
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        return crunch()\n"
+            ),
+        })
+        findings = check(project)
+        assert any("`BError`" in f.message for f in findings)
+        assert any("crunch" in f.message for f in findings)
+
+    def test_method_reference_reaches_callback(self, make_project):
+        # A bound-method *reference* (no call syntax) handed to other
+        # machinery still counts as reachable — conservative resolution.
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/serve/app.py": (
+                "from fx.core.errors import AError, Base\n"
+                "ERROR_STATUS = {Base: (500, None)}\n"
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        return self._later\n"
+                "    def _later(self):\n"
+                "        'Doc.'\n"
+                "        raise AError('x')\n"
+            ),
+        })
+        findings = check(project)
+        assert any("`AError`" in f.message for f in findings)
+
+    def test_unreachable_raise_is_not_flagged(self, make_project):
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/core/island.py": (
+                "from fx.core.errors import BError\n"
+                "def never_called_from_serve():\n"
+                "    'Doc.'\n"
+                "    raise BError('x')\n"
+            ),
+            "fx/serve/app.py": (
+                "from fx.core.errors import Base\n"
+                "ERROR_STATUS = {Base: (500, None)}\n"
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        return 1\n"
+            ),
+        })
+        assert check(project) == []
+
+
+class TestMappingShape:
+    def test_missing_mapping_is_flagged(self, make_project):
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/serve/app.py": (
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        return 1\n"
+            ),
+        })
+        findings = check(project)
+        assert [f.rule_id for f in findings] == ["serve-status-coverage"]
+        assert "no module-level ERROR_STATUS" in findings[0].message
+
+    def test_non_taxonomy_key_is_flagged(self, make_project):
+        project = make_project({
+            "fx/core/errors.py": ERRORS,
+            "fx/serve/app.py": (
+                "from fx.core.errors import Base, Unrelated\n"
+                "ERROR_STATUS = {Base: (500, None), Unrelated: (400, 'x')}\n"
+                "class App:\n"
+                "    'Doc.'\n"
+                "    def handle(self):\n"
+                "        'Doc.'\n"
+                "        return 1\n"
+            ),
+        })
+        findings = check(project)
+        assert any(
+            "`Unrelated` is not a class" in f.message for f in findings
+        )
+
+    def test_trees_without_serve_layer_have_nothing_to_prove(
+        self, make_project
+    ):
+        project = make_project({"fx/core/errors.py": ERRORS})
+        assert check(project) == []

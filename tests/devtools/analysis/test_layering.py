@@ -1,0 +1,109 @@
+"""Layering pass: forbidden architecture edges and import cycles."""
+
+from __future__ import annotations
+
+from repro.devtools.analysis import check_layering
+
+
+def rules(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestForbiddenEdges:
+    def test_core_importing_serve_is_flagged(self, make_project):
+        project = make_project({
+            "repro/core/thing.py": "from repro.serve.app import App\n",
+            "repro/serve/app.py": "class App:\n    'Doc.'\n",
+        })
+        findings = check_layering(project)
+        assert "layering" in rules(findings)
+        assert any("layer `core`" in f.message for f in findings)
+
+    def test_lazy_import_is_still_a_forbidden_edge(self, make_project):
+        project = make_project({
+            "repro/core/thing.py": (
+                "def render():\n"
+                "    'Doc.'\n"
+                "    from repro.viz.charts import chart\n"
+                "    return chart\n"
+            ),
+            "repro/viz/charts.py": "def chart():\n    'Doc.'\n",
+        })
+        findings = check_layering(project)
+        assert any(f.rule_id == "layering" for f in findings)
+
+    def test_allowed_edge_is_clean(self, make_project):
+        project = make_project({
+            "repro/core/thing.py": "from repro.forest.model import F\n",
+            "repro/forest/model.py": "class F:\n    'Doc.'\n",
+        })
+        assert check_layering(project) == []
+
+    def test_leaf_module_importing_upward_is_flagged(self, make_project):
+        project = make_project({
+            "repro/obs/trace.py": "from repro.core.thing import x\n",
+            "repro/core/thing.py": "x = 1\n",
+        })
+        findings = check_layering(project)
+        assert any("layer `obs`" in f.message for f in findings)
+
+    def test_unconstrained_layers_may_import_anything(self, make_project):
+        project = make_project({
+            "repro/cli/main.py": (
+                "from repro.serve.app import App\n"
+                "from repro.core.thing import x\n"
+            ),
+            "repro/serve/app.py": "class App:\n    'Doc.'\n",
+            "repro/core/thing.py": "x = 1\n",
+        })
+        assert check_layering(project) == []
+
+    def test_stdlib_and_thirdparty_imports_are_ignored(self, make_project):
+        project = make_project({
+            "repro/core/thing.py": "import os\nimport numpy as np\n",
+        })
+        assert check_layering(project) == []
+
+    def test_custom_allowed_table(self, make_project):
+        project = make_project({
+            "repro/a/one.py": "from repro.b.two import x\n",
+            "repro/b/two.py": "x = 1\n",
+        })
+        allowed = {"a": frozenset(), "b": frozenset()}
+        findings = check_layering(project, allowed)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "layering"
+        assert check_layering(project, {"a": frozenset({"b"})}) == []
+
+
+class TestImportCycles:
+    def test_module_level_cycle_is_one_finding(self, make_project):
+        project = make_project({
+            "repro/cli/a.py": "from repro.cli.b import x\n",
+            "repro/cli/b.py": "from repro.cli.a import y\n",
+        })
+        findings = [
+            f for f in check_layering(project) if f.rule_id == "import-cycle"
+        ]
+        assert len(findings) == 1
+        assert "repro.cli.a -> repro.cli.b -> repro.cli.a" in findings[0].message
+
+    def test_lazy_import_breaks_the_cycle(self, make_project):
+        project = make_project({
+            "repro/cli/a.py": "from repro.cli.b import x\n",
+            "repro/cli/b.py": (
+                "def f():\n"
+                "    'Doc.'\n"
+                "    from repro.cli.a import y\n"
+                "    return y\n"
+            ),
+        })
+        assert check_layering(project) == []
+
+    def test_acyclic_chain_is_clean(self, make_project):
+        project = make_project({
+            "repro/cli/a.py": "from repro.cli.b import x\n",
+            "repro/cli/b.py": "from repro.cli.c import x\n",
+            "repro/cli/c.py": "x = 1\n",
+        })
+        assert check_layering(project) == []

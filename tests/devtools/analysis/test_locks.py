@@ -1,0 +1,206 @@
+"""Lock-discipline pass: proving registry entries against fixture trees."""
+
+from __future__ import annotations
+
+from repro.devtools import GlobalEntry
+from repro.devtools.analysis import check_locks
+
+GUARDED = """\
+import threading
+
+_lock = threading.Lock()
+_cache = {}
+
+
+def put(key, value):
+    'Doc.'
+    with _lock:
+        _cache[key] = value
+
+
+def get(key):
+    'Doc.'
+    with _lock:
+        return _cache.get(key)
+"""
+
+
+def entry(**overrides):
+    base = dict(
+        module="pkg.mod", name="_cache", discipline="lock", lock="_lock"
+    )
+    base.update(overrides)
+    return GlobalEntry(**base)
+
+
+class TestLockDiscipline:
+    def test_guarded_module_is_clean(self, make_project):
+        project = make_project({"pkg/mod.py": GUARDED})
+        assert check_locks(project, [entry()]) == []
+
+    def test_unguarded_write_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "_cache = {}\n"
+            "def put(key, value):\n"
+            "    'Doc.'\n"
+            "    _cache[key] = value\n"
+        )})
+        findings = check_locks(project, [entry()])
+        assert [f.rule_id for f in findings] == ["lock-discipline"]
+        assert "outside `with _lock:`" in findings[0].message
+
+    def test_unguarded_rebind_with_global_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "_cache = {}\n"
+            "def reset():\n"
+            "    'Doc.'\n"
+            "    global _cache\n"
+            "    _cache = {}\n"
+        )})
+        findings = check_locks(project, [entry()])
+        assert [f.rule_id for f in findings] == ["lock-discipline"]
+
+    def test_local_shadow_is_not_a_write(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "_cache = {}\n"
+            "def snapshot():\n"
+            "    'Doc.'\n"
+            "    _cache = {}\n"  # local rebind, no ``global``
+            "    return _cache\n"
+        )})
+        assert check_locks(project, [entry()]) == []
+
+    def test_mutator_method_outside_lock_is_a_write(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "_cache = {}\n"
+            "def wipe():\n"
+            "    'Doc.'\n"
+            "    _cache.clear()\n"
+        )})
+        findings = check_locks(project, [entry()])
+        assert [f.rule_id for f in findings] == ["lock-discipline"]
+
+    def test_missing_lock_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": "_cache = {}\n"})
+        findings = check_locks(project, [entry()])
+        assert [f.rule_id for f in findings] == ["lock-discipline"]
+        assert "no such module-level lock" in findings[0].message
+
+    def test_non_lock_binding_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "_lock = object()\n"
+            "_cache = {}\n"
+        )})
+        findings = check_locks(project, [entry()])
+        assert any(
+            "not a module-level threading.Lock()" in f.message
+            for f in findings
+        )
+
+    def test_registry_drift_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": "x = 1\n"})
+        findings = check_locks(project, [entry()])
+        assert [f.rule_id for f in findings] == ["lock-discipline"]
+        assert "registry drift" in findings[0].message
+
+    def test_unanalyzed_module_is_skipped(self, make_project):
+        project = make_project({"pkg/mod.py": "x = 1\n"})
+        assert check_locks(project, [entry(module="elsewhere.mod")]) == []
+
+
+class TestAtomicReads:
+    def test_unsanctioned_lockfree_read_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "_cache = {}\n"
+            "def peek():\n"
+            "    'Doc.'\n"
+            "    return _cache\n"
+        )})
+        findings = check_locks(project, [entry()])
+        assert [f.rule_id for f in findings] == ["atomic-read"]
+        assert "`peek`" in findings[0].message
+
+    def test_sanctioned_site_is_clean(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "_cache = {}\n"
+            "def peek():\n"
+            "    'Doc.'\n"
+            "    return _cache\n"
+        )})
+        assert check_locks(project, [entry(atomic_reads=("peek",))]) == []
+
+
+class TestFrozenDiscipline:
+    def test_untouched_frozen_global_is_clean(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "_TABLE = {'a': 1}\n"
+            "def lookup(key):\n"
+            "    'Doc.'\n"
+            "    return _TABLE[key]\n"
+        )})
+        frozen = entry(
+            name="_TABLE", discipline="frozen-after-import", lock=None
+        )
+        assert check_locks(project, [frozen]) == []
+
+    def test_post_import_mutation_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "_TABLE = {'a': 1}\n"
+            "def register(key, value):\n"
+            "    'Doc.'\n"
+            "    _TABLE[key] = value\n"
+        )})
+        frozen = entry(
+            name="_TABLE", discipline="frozen-after-import", lock=None
+        )
+        findings = check_locks(project, [frozen])
+        assert [f.rule_id for f in findings] == ["frozen-mutation"]
+        assert "`register`" in findings[0].message
+
+
+class TestCrossModuleWrites:
+    def test_foreign_mutation_is_flagged(self, make_project):
+        project = make_project({
+            "pkg/mod.py": "_TABLE = {'a': 1}\n",
+            "pkg/other.py": (
+                "from pkg import mod\n"
+                "def poke():\n"
+                "    'Doc.'\n"
+                "    mod._TABLE['b'] = 2\n"
+            ),
+        })
+        frozen = entry(
+            name="_TABLE", discipline="frozen-after-import", lock=None
+        )
+        findings = check_locks(project, [frozen])
+        assert any(
+            f.rule_id == "frozen-mutation" and "cross-module" in f.message
+            for f in findings
+        )
+
+    def test_foreign_read_is_fine(self, make_project):
+        project = make_project({
+            "pkg/mod.py": "_TABLE = {'a': 1}\n",
+            "pkg/other.py": (
+                "from pkg import mod\n"
+                "def peek():\n"
+                "    'Doc.'\n"
+                "    return mod._TABLE\n"
+            ),
+        })
+        frozen = entry(
+            name="_TABLE", discipline="frozen-after-import", lock=None
+        )
+        assert check_locks(project, [frozen]) == []

@@ -1,0 +1,137 @@
+"""The shared project graph: parsing, aliasing, and import edges."""
+
+from __future__ import annotations
+
+import ast
+
+
+class TestModuleNaming:
+    def test_modules_and_packages(self, make_project):
+        project = make_project({
+            "pkg/mod.py": "x = 1\n",
+            "pkg/sub/leaf.py": "y = 2\n",
+        })
+        assert "pkg" in project.modules
+        assert "pkg.mod" in project.modules
+        assert "pkg.sub.leaf" in project.modules
+        assert project.modules["pkg"].is_package
+        assert not project.modules["pkg.mod"].is_package
+
+    def test_syntax_error_files_are_skipped(self, make_project):
+        project = make_project({
+            "pkg/ok.py": "x = 1\n",
+            "pkg/broken.py": "def f(:\n",
+        })
+        assert "pkg.ok" in project.modules
+        assert "pkg.broken" not in project.modules
+
+
+class TestAliases:
+    def test_import_as_and_from_import(self, make_project):
+        project = make_project({
+            "pkg/mod.py": (
+                "import numpy as np\n"
+                "from threading import Lock\n"
+                "import os.path\n"
+            ),
+        })
+        info = project.modules["pkg.mod"]
+        assert info.aliases["np"] == "numpy"
+        assert info.aliases["Lock"] == "threading.Lock"
+        # ``import a.b`` binds the top package name.
+        assert info.aliases["os"] == "os"
+
+    def test_dotted_resolves_attribute_chains(self, make_project):
+        project = make_project({
+            "pkg/mod.py": (
+                "import numpy as np\n"
+                "call = np.random.default_rng\n"
+            ),
+        })
+        info = project.modules["pkg.mod"]
+        value = info.module_assigns["call"].value
+        assert info.dotted(value) == "numpy.random.default_rng"
+
+    def test_dotted_resolves_module_level_defs(self, make_project):
+        project = make_project({
+            "pkg/mod.py": "def helper():\n    'Doc.'\n    return helper\n",
+        })
+        info = project.modules["pkg.mod"]
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Return):
+                assert info.dotted(node.value) == "pkg.mod.helper"
+                break
+        else:  # pragma: no cover - fixture guard
+            raise AssertionError("no return found")
+
+
+class TestImportEdges:
+    def test_relative_import_resolution(self, make_project):
+        project = make_project({
+            "pkg/a/one.py": "from ..b import two\n",
+            "pkg/b/two.py": "x = 1\n",
+        })
+        info = project.modules["pkg.a.one"]
+        # The imported name is itself a module: the edge points at it,
+        # not at the containing package.
+        assert "pkg.b.two" in info.all_imports
+        assert "pkg.b" not in info.all_imports
+
+    def test_from_import_of_plain_attribute_targets_the_module(
+        self, make_project
+    ):
+        project = make_project({
+            "pkg/a.py": "from pkg.b import helper\n",
+            "pkg/b.py": "def helper():\n    'Doc.'\n",
+        })
+        assert "pkg.b" in project.modules["pkg.a"].all_imports
+
+    def test_lazy_imports_stay_out_of_module_imports(self, make_project):
+        project = make_project({
+            "pkg/a.py": (
+                "import os\n"
+                "def f():\n"
+                "    'Doc.'\n"
+                "    import json\n"
+            ),
+        })
+        info = project.modules["pkg.a"]
+        assert "os" in info.module_imports
+        assert "json" in info.all_imports
+        assert "json" not in info.module_imports
+
+    def test_import_lines_anchor_findings(self, make_project):
+        project = make_project({
+            "pkg/a.py": "x = 1\nimport os\n",
+        })
+        assert project.modules["pkg.a"].import_lines["os"] == 2
+
+
+class TestStructure:
+    def test_enclosing_function_and_qualname(self, make_project):
+        project = make_project({
+            "pkg/mod.py": (
+                "class C:\n"
+                "    'Doc.'\n"
+                "    def m(self):\n"
+                "        'Doc.'\n"
+                "        x = 1\n"
+            ),
+        })
+        info = project.modules["pkg.mod"]
+        assert "C.m" in info.defs
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Assign):
+                func = info.enclosing_function(node)
+                assert info.qualname(func) == "C.m"
+
+    def test_defs_by_name_indexes_bare_names(self, make_project):
+        project = make_project({
+            "pkg/a.py": "def shared():\n    'Doc.'\n",
+            "pkg/b.py": "class C:\n    'Doc.'\n    def shared(self):\n        'Doc.'\n",
+        })
+        sites = {
+            f"{info.name}.{qual}"
+            for info, qual, _ in project.defs_by_name["shared"]
+        }
+        assert sites == {"pkg.a.shared", "pkg.b.C.shared"}

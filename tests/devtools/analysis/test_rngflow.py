@@ -1,0 +1,150 @@
+"""RNG-determinism taint pass: seeded vs unseeded generator creation."""
+
+from __future__ import annotations
+
+from repro.devtools.analysis import check_rng_flow
+
+
+def rules(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestUnseeded:
+    def test_no_argument_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f():\n"
+            "    'Doc.'\n"
+            "    return np.random.default_rng()\n"
+        )})
+        findings = check_rng_flow(project)
+        assert rules(findings) == ["rng-unseeded"]
+        assert "no seed argument" in findings[0].message
+
+    def test_literal_none_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f():\n"
+            "    'Doc.'\n"
+            "    return np.random.default_rng(None)\n"
+        )})
+        assert rules(check_rng_flow(project)) == ["rng-unseeded"]
+
+    def test_unprovable_local_is_flagged(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import time\n"
+            "import numpy as np\n"
+            "def f():\n"
+            "    'Doc.'\n"
+            "    seed = time.time_ns()\n"
+            "    return np.random.default_rng(seed)\n"
+        )})
+        assert rules(check_rng_flow(project)) == ["rng-unseeded"]
+
+
+class TestSeeded:
+    def test_int_literal(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_random_state_parameter(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f(random_state):\n"
+            "    'Doc.'\n"
+            "    return np.random.default_rng(random_state)\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_keyword_seed_argument(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    'Doc.'\n"
+            "    return np.random.default_rng(seed=seed)\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_spawn_key_list_of_seeded_parts(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    'Doc.'\n"
+            "    out = []\n"
+            "    for i in range(3):\n"
+            "        out.append(np.random.default_rng([seed, i]))\n"
+            "    return out\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_arithmetic_on_seed(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f(seed, attempt):\n"
+            "    'Doc.'\n"
+            "    return np.random.default_rng(seed + 1000 * attempt)\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_local_chain_of_seeded_assignments(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f(random_state):\n"
+            "    'Doc.'\n"
+            "    seed = random_state\n"
+            "    derived = seed + 1\n"
+            "    return np.random.default_rng(derived)\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_attribute_of_self(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "class C:\n"
+            "    'Doc.'\n"
+            "    def f(self):\n"
+            "        'Doc.'\n"
+            "        return np.random.default_rng(self.seed)\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_module_level_int_constant(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "DEFAULT_SEED = 7\n"
+            "def f():\n"
+            "    'Doc.'\n"
+            "    return np.random.default_rng(DEFAULT_SEED)\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_derivation_from_passed_rng(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f(rng):\n"
+            "    'Doc.'\n"
+            "    return np.random.default_rng(rng.integers(0, 2**31))\n"
+        )})
+        assert check_rng_flow(project) == []
+
+    def test_cyclic_local_assignment_terminates_unseeded(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "import numpy as np\n"
+            "def f():\n"
+            "    'Doc.'\n"
+            "    a = a\n"
+            "    return np.random.default_rng(a)\n"
+        )})
+        assert rules(check_rng_flow(project)) == ["rng-unseeded"]
+
+    def test_unrelated_calls_are_ignored(self, make_project):
+        project = make_project({"pkg/mod.py": (
+            "def default_rng():\n"
+            "    'Doc: a local helper that shares the numpy name.'\n"
+            "x = default_rng()\n"
+        )})
+        # ``pkg.mod.default_rng`` is not ``numpy.random.default_rng``.
+        assert check_rng_flow(project) == []

@@ -1,0 +1,114 @@
+"""Waiver pragmas and baseline flow for deep findings.
+
+Deep findings ride the exact same suppression machinery as the per-file
+lint rules: inline ``# repro: allow(rule)`` on the finding's line, the
+file-scope ``# repro: allow-file(rule)`` pragma anywhere in the file, and
+the committed baseline with stranded-entry garbage collection.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.devtools import load_baseline, run_check
+from repro.devtools.analysis import run_deep_passes
+from repro.devtools.check import BASELINE_NAME
+from repro.devtools.engine import file_waived_rules, line_waived_rules
+
+UNSEEDED = (
+    "import numpy as np\n"
+    "\n"
+    "__all__ = [\"mint\"]\n"
+    "\n"
+    "\n"
+    "def mint():\n"
+    "    \"Mint a generator.\"\n"
+    "    return np.random.default_rng()\n"
+)
+
+
+class TestPragmaParsing:
+    def test_file_pragma_collects_rule_ids(self):
+        lines = [
+            "# repro: allow-file(rng-unseeded)",
+            "# repro: allow-file(layering, import-cycle)",
+            "x = 1",
+        ]
+        assert file_waived_rules(lines) == {
+            "rng-unseeded", "layering", "import-cycle"
+        }
+
+    def test_line_pragma_is_not_a_file_pragma(self):
+        lines = ["x = 1  # repro: allow(float-eq)"]
+        assert file_waived_rules(lines) == frozenset()
+        assert "float-eq" in line_waived_rules(lines, 1)
+
+
+class TestDeepWaivers:
+    def test_unwaived_deep_finding_surfaces(self, tmp_path):
+        (tmp_path / "mod.py").write_text(UNSEEDED)
+        findings = run_deep_passes(tmp_path)
+        assert [f.rule_id for f in findings] == ["rng-unseeded"]
+
+    def test_line_waiver_suppresses_deep_finding(self, tmp_path):
+        waived = UNSEEDED.replace(
+            "np.random.default_rng()",
+            "np.random.default_rng()  # repro: allow(rng-unseeded)",
+        )
+        (tmp_path / "mod.py").write_text(waived)
+        assert run_deep_passes(tmp_path) == []
+
+    def test_file_waiver_suppresses_deep_finding(self, tmp_path):
+        waived = "# repro: allow-file(rng-unseeded)\n" + UNSEEDED
+        (tmp_path / "mod.py").write_text(waived)
+        assert run_deep_passes(tmp_path) == []
+
+    def test_file_waiver_is_rule_specific(self, tmp_path):
+        waived = "# repro: allow-file(layering)\n" + UNSEEDED
+        (tmp_path / "mod.py").write_text(waived)
+        findings = run_deep_passes(tmp_path)
+        assert [f.rule_id for f in findings] == ["rng-unseeded"]
+
+
+class TestDeepBaselineFlow:
+    def seed(self, tmp_path, source=UNSEEDED):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+        target = tmp_path / "src" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(source)
+        return target
+
+    def test_deep_finding_fails_then_baselines(self, tmp_path):
+        target = self.seed(tmp_path)
+        out = io.StringIO()
+        assert run_check([target], deep=True, stream=out) == 1
+        assert "rng-unseeded" in out.getvalue()
+        run_check(
+            [target], deep=True, update_baseline=True, stream=io.StringIO()
+        )
+        assert run_check([target], deep=True, stream=io.StringIO()) == 0
+
+    def test_fixing_strands_entry_until_gc(self, tmp_path):
+        target = self.seed(tmp_path)
+        run_check(
+            [target], deep=True, update_baseline=True, stream=io.StringIO()
+        )
+        target.write_text(
+            UNSEEDED.replace("default_rng()", "default_rng(42)")
+        )
+        # The stranded baseline entry fails the gate until GC'd.
+        assert run_check([target], deep=True, stream=io.StringIO()) == 1
+        assert run_check(
+            [target], deep=True, update_baseline=True, stream=io.StringIO()
+        ) == 0
+        assert load_baseline(tmp_path / BASELINE_NAME) == []
+
+    def test_shallow_run_ignores_deep_rules(self, tmp_path):
+        target = self.seed(tmp_path)
+        assert run_check([target], stream=io.StringIO()) == 0
+
+    def test_file_pragma_works_through_run_check(self, tmp_path):
+        target = self.seed(
+            tmp_path, "# repro: allow-file(rng-unseeded)\n" + UNSEEDED
+        )
+        assert run_check([target], deep=True, stream=io.StringIO()) == 0

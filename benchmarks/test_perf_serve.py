@@ -2,12 +2,16 @@
 
 Drives the in-process serving stack with 16 deterministic closed-loop
 clients against two otherwise identical configurations — ``max_batch=1``
-(no coalescing) and micro-batching — and writes the ``BENCH_serve.json``
-trajectory artifact at the repo root.  The run *fails* if micro-batching
-is not at least 2x the baseline's throughput, if any request errors, or
-if the artifact violates its own schema — pinning the serving subsystem's
-perf claim in CI the same way ``test_perf_predict`` pins the packed
-engine's.
+(no coalescing) and micro-batching — plus the multi-process fleet at
+workers=1/2/4 and a kill-a-worker-mid-load failover cell, and writes the
+``BENCH_serve.json`` trajectory artifact at the repo root.  The run
+*fails* if micro-batching is not at least 2x the baseline's throughput,
+if any request errors, if a fleet response diverges bitwise from
+single-process ``predict_raw``, if the failover cell loses an in-flight
+request beyond the shed count, or if the artifact violates its own
+schema (which itself gates ≥2x rows/sec at 4 workers on hosts with ≥4
+CPUs) — pinning the serving subsystem's perf claim in CI the same way
+``test_perf_predict`` pins the packed engine's.
 
 Run with ``pytest benchmarks/test_perf_serve.py -q``.
 """
@@ -36,6 +40,8 @@ def test_perf_serve():
         requests_per_client=REQUESTS_PER_CLIENT,
         rows_per_request=ROWS_PER_REQUEST,
         n_trees=N_TREES,
+        fleet_workers=(1, 2, 4),
+        fleet_failover=True,
     )
     validate_bench_serve(artifact)
     (REPO_ROOT / "BENCH_serve.json").write_text(
@@ -43,14 +49,32 @@ def test_perf_serve():
     )
 
     for cell in artifact["cells"]:
+        if cell["name"].startswith("fleet_"):
+            tail = f"identical={cell['identical']}"
+            if cell.get("speedup_vs_workers1") is not None:
+                tail += f"  {cell['speedup_vs_workers1']:.2f}x vs workers=1"
+            if "lost" in cell:
+                tail += f"  lost={cell['lost']}"
+        else:
+            tail = f"{cell['speedup_vs_batch1']:.2f}x vs batch1"
         report(
-            f"{cell['name']:>10}: {cell['requests_per_sec']:>8.1f} req/s  "
+            f"{cell['name']:>14}: {cell['requests_per_sec']:>8.1f} req/s  "
             f"p50 {cell['p50_ms']:.2f}ms  p99 {cell['p99_ms']:.2f}ms  "
             f"ok={cell['ok']} shed={cell['shed']} errors={cell['errors']}  "
-            f"{cell['speedup_vs_batch1']:.2f}x vs batch1"
+            f"{tail}"
         )
         assert cell["errors"] == 0, f"{cell['name']}: request errors"
-        assert cell["ok"] == cell["requests"], f"{cell['name']}: lost requests"
+        if cell["name"] == "fleet_failover":
+            assert cell["lost"] == 0, f"lost in-flight requests: {cell}"
+            assert cell["ok"] + cell["shed"] == cell["requests"]
+        else:
+            assert cell["ok"] == cell["requests"], (
+                f"{cell['name']}: lost requests"
+            )
+        if cell["name"].startswith("fleet_"):
+            assert cell["identical"] is True, (
+                f"{cell['name']}: responses diverged from predict_raw"
+            )
 
     micro = next(c for c in artifact["cells"] if c["name"] == "microbatch")
     assert micro["speedup_vs_batch1"] >= 2.0, (

@@ -162,7 +162,7 @@ def _cmd_explain(args) -> int:
 def _cmd_serve(args) -> int:
     from .core.config import GEFConfig
     from .obs import enable_metrics
-    from .serve import ServeApp, ServeConfig, start_server
+    from .serve import FleetApp, FleetConfig, ServeApp, ServeConfig, start_server
     from .serve.http import set_server
 
     config = ServeConfig(
@@ -181,13 +181,32 @@ def _cmd_serve(args) -> int:
         ),
     )
     enable_metrics()
-    app = ServeApp(config)
+    if args.workers > 0:
+        app = FleetApp(
+            config,
+            FleetConfig(
+                workers=args.workers,
+                replication=args.replication or args.workers,
+                worker_threads=args.worker_threads,
+                quorum=args.quorum,
+            ),
+        )
+    else:
+        app = ServeApp(config)
     for path in args.models:
         entry = app.add_model(Path(path).stem, path)
         print(
             f"registered {entry.model_id!r} "
             f"(fingerprint {entry.fingerprint}, "
             f"{entry.n_features} features) from {path}"
+        )
+    if args.workers > 0:
+        app.start_fleet(supervise_interval_s=args.heartbeat_interval)
+        print(
+            f"fleet up: {args.workers} worker(s), "
+            f"replication {args.replication or args.workers}, "
+            f"quorum {args.quorum}, heartbeat every "
+            f"{args.heartbeat_interval:g}s"
         )
     handle = start_server(app, host=args.host, port=args.port)
     set_server(handle)
@@ -312,6 +331,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request budget in seconds (504 beyond it)")
     serve.add_argument("--surrogate-capacity", type=int, default=4,
                        help="fitted GAM surrogates kept in the LRU cache")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes for the serving fleet "
+                            "(0 = single-process in-proc serving)")
+    serve.add_argument("--replication", type=int, default=0,
+                       help="replicas per model across the fleet "
+                            "(0 = replicate to every worker)")
+    serve.add_argument("--worker-threads", type=int, default=4,
+                       help="request threads inside each fleet worker")
+    serve.add_argument("--quorum", type=int, default=1,
+                       help="minimum up workers before the fleet degrades "
+                            "to in-proc serving")
+    serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       help="supervisor tick interval in seconds "
+                            "(heartbeats, crash detection, restarts)")
     serve.add_argument("--splines", type=int, default=5,
                        help="|F'| for surrogate fits behind /explain")
     serve.add_argument("--interactions", type=int, default=0,

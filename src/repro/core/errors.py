@@ -19,8 +19,12 @@ Taxonomy::
     └── ServeError              serving-layer failure (repro.serve)
         ├── BadRequestError     malformed request payload (HTTP 400)
         ├── ModelNotFoundError  unknown model id / path (HTTP 404)
-        └── ShedError           admission control rejected the request
-                                (HTTP 429: queue depth / inflight limit)
+        ├── ShedError           admission control rejected the request
+        │                       (HTTP 429: queue depth / inflight limit)
+        ├── WorkerCrashError    a fleet worker process died mid-request
+        │                       and no replica could absorb it (HTTP 503)
+        └── FleetDegradedError  the worker fleet is below quorum or its
+                                restart circuit breaker is open (HTTP 503)
 
 Errors that replace historical ``ValueError``s keep ``ValueError`` as a
 secondary base, so ``except ValueError`` call sites (and tests) written
@@ -43,6 +47,8 @@ __all__ = [
     "BadRequestError",
     "ModelNotFoundError",
     "ShedError",
+    "WorkerCrashError",
+    "FleetDegradedError",
 ]
 
 
@@ -135,4 +141,25 @@ class ShedError(ServeError):
     Raised synchronously at submit time when a bounded queue is at its
     depth limit or the server-wide inflight cap is reached — the caller
     gets an immediate, cheap rejection instead of unbounded queueing.
+    """
+
+
+class WorkerCrashError(ServeError):
+    """A fleet worker died mid-request and no replica absorbed it.
+
+    Under normal failover a crashed worker's in-flight requests are
+    re-dispatched to a surviving replica (predict is pure given the
+    forest fingerprint, so a re-dispatch is idempotent) and, when no
+    replica is alive, served in-process.  This error marks the
+    pathological leftovers — e.g. every re-dispatch target died too —
+    and maps to HTTP 503.
+    """
+
+
+class FleetDegradedError(ServeError):
+    """The worker fleet cannot serve: below quorum or breaker open.
+
+    Raised when the fleet fails to reach quorum at startup or a dispatch
+    is attempted against a closed/degraded fleet; the front-end degrades
+    to single-process in-proc serving where possible.  Maps to HTTP 503.
     """

@@ -14,6 +14,11 @@ Three injection surfaces, all deterministic (no sleeping, no randomness):
   named pipeline stage with an arbitrary exception, or charge synthetic
   "stalled" seconds against its wall-clock budget, on the Nth attempt,
   via the stage-hook registry in :mod:`repro.core.stages`.
+* :func:`kill_worker` / :func:`hang_worker` / :func:`corrupt_heartbeat` —
+  fleet faults for :mod:`repro.serve.fleet`: a real SIGKILL with
+  deterministic post-conditions, a synthetic hang (muted heartbeats) and
+  garbled heartbeat replies, all acknowledged over the worker pipe so
+  the chaos suite never sleeps to "wait for the fault to land".
 
 Every context manager restores the previously installed hook on exit, so
 injections compose and never leak across tests.
@@ -37,8 +42,11 @@ from ..core.stages import get_stage_hook, set_stage_hook
 __all__ = [
     "FOREST_FAULTS",
     "corrupt_forest",
+    "corrupt_heartbeat",
     "fail_stage",
     "force_kernel_fault",
+    "hang_worker",
+    "kill_worker",
     "stall_stage",
 ]
 
@@ -241,3 +249,72 @@ def stall_stage(
         yield counter
     finally:
         set_stage_hook(stage, previous)
+
+
+# ----------------------------------------------------------------------
+# fleet faults (PR 8): crash, hang, corrupted heartbeats
+# ----------------------------------------------------------------------
+def kill_worker(fleet, name: str, timeout_s: float = 30.0) -> int:
+    """SIGKILL fleet worker ``name`` and wait for crash bookkeeping.
+
+    Deterministic synchronization, no sleeping: returns only after the
+    worker's process has been joined *and* its front-end handle has run
+    failover (``dead_event``) — every in-flight request it held has been
+    woken for re-dispatch.  The caller then drives detection explicitly
+    with :meth:`~repro.serve.supervisor.Supervisor.tick`.  Returns the
+    killed pid.
+    """
+    import os
+    import signal
+
+    handle = fleet.handle(name)
+    pid = handle.pid if handle.pid is not None else handle.proc.pid
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    handle.proc.join(timeout_s)
+    handle.dead_event.wait(timeout_s)
+    return pid
+
+
+@contextmanager
+def hang_worker(fleet, name: str) -> Iterator[None]:
+    """Make fleet worker ``name`` stop answering heartbeats.
+
+    A synthetic stall: the worker keeps running (and keeps serving
+    requests already on its threads) but mutes its pong replies, which
+    is exactly what a hard hang looks like from the supervisor's side.
+    Pipe FIFO ordering makes the fault exact — every ping sent after the
+    acknowledged switch is dropped, no sleeps involved.  The switch is
+    restored on exit when the worker still exists (the supervisor
+    usually SIGKILLs it first; a restarted worker boots unmuted).
+    """
+    fleet.chaos(name, "mute_pings", True)
+    try:
+        yield
+    finally:
+        try:
+            fleet.chaos(name, "mute_pings", False)
+        except Exception:  # repro: allow(broad-except) the worker is usually dead by now; restored workers boot unmuted
+            pass
+
+
+@contextmanager
+def corrupt_heartbeat(fleet, name: str) -> Iterator[None]:
+    """Make fleet worker ``name`` answer heartbeats with garbage.
+
+    The worker replies ``("pong", None)`` instead of echoing the ping
+    sequence number; the supervisor counts each as corrupt
+    (``fleet.heartbeats_corrupt``) and, since the real sequence is never
+    acknowledged, escalates through the miss counter to the hang path.
+    Restored on exit when the worker still exists.
+    """
+    fleet.chaos(name, "corrupt_pings", True)
+    try:
+        yield
+    finally:
+        try:
+            fleet.chaos(name, "corrupt_pings", False)
+        except Exception:  # repro: allow(broad-except) the worker is usually dead by now; restored workers boot unmuted
+            pass

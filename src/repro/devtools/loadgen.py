@@ -17,8 +17,11 @@ identical workload; latencies are measured on the pipeline clock
 ``bench_serve`` packages the ISSUE benchmark: the same workload against
 a micro-batching server and a ``max_batch=1`` baseline, emitting the
 house ``BENCH_serve.json`` artifact (throughput, p50/p99 latency, shed
-rate, batch-size histogram).  ``python -m repro.devtools.loadgen`` is
-the CI smoke entry point.
+rate, batch-size histogram).  With ``fleet_workers`` it also drives
+:class:`~repro.serve.fleet.FleetApp` targets — multi-process scaling
+cells at workers=1/2/4 plus a failover cell that SIGKILLs a worker at a
+deterministic mid-load point (``mid_load``) and pins zero lost requests.
+``python -m repro.devtools.loadgen`` is the CI smoke entry point.
 """
 
 from __future__ import annotations
@@ -54,14 +57,42 @@ def _http_post(url: str, payload: dict, timeout_s: float):
         return exc.code
 
 
+class _MidLoadTrigger:
+    """Fires a callback exactly once, at the Nth completed request.
+
+    The failover benchmark uses this to SIGKILL a worker *mid-load*
+    deterministically: the kill lands after a fixed number of completed
+    requests, not after a wall-clock sleep, so the scenario replays
+    identically on every run.
+    """
+
+    def __init__(self, at: int, callback):
+        self._at = max(1, int(at))
+        self._callback = callback
+        self._lock = threading.Lock()
+        self._count = 0
+        self._fired = False
+
+    def note(self) -> None:
+        """Record one completed request; fire on the Nth."""
+        with self._lock:
+            self._count += 1
+            fire = self._count == self._at and not self._fired
+            if fire:
+                self._fired = True
+        if fire:
+            self._callback()
+
+
 class _Client:
     """One closed-loop client: pre-generated payloads, recorded outcomes."""
 
-    def __init__(self, index, payloads, send, barrier):
+    def __init__(self, index, payloads, send, barrier, trigger=None):
         self.index = index
         self.payloads = payloads
         self.send = send
         self.barrier = barrier
+        self.trigger = trigger
         self.latencies_s: list[float] = []
         self.statuses: list[int] = []
         self.thread = threading.Thread(
@@ -78,6 +109,8 @@ class _Client:
                 status = -1
             self.latencies_s.append(monotonic() - start)
             self.statuses.append(status)
+            if self.trigger is not None:
+                self.trigger.note()
 
 
 def _batch_size_hist(before: dict, after: dict) -> dict[str, int]:
@@ -102,12 +135,18 @@ def run_load(
     seed: int = 0,
     transport: str = "inproc",
     timeout_s: float = 60.0,
+    mid_load=None,
+    mid_load_at: int | None = None,
 ) -> dict:
     """Drive ``target`` with a deterministic closed-loop workload.
 
     ``target`` is a :class:`~repro.serve.app.ServeApp` for the
     ``"inproc"`` transport or a base URL string for ``"http"`` (which
-    then requires ``n_features``).  Returns a JSON-ready result cell.
+    then requires ``n_features``).  ``mid_load`` is an optional callback
+    fired exactly once after ``mid_load_at`` completed requests (default:
+    halfway) — the fleet failover benchmark uses it to kill a worker
+    under load at a deterministic point.  Returns a JSON-ready result
+    cell.
     """
     if transport not in ("inproc", "http"):
         raise ValueError(f"unknown transport {transport!r}")
@@ -135,6 +174,13 @@ def run_load(
             return _http_post(url, payload, timeout_s)
 
     barrier = threading.Barrier(clients + 1)
+    trigger = None
+    if mid_load is not None:
+        total_requests = clients * requests_per_client
+        trigger = _MidLoadTrigger(
+            mid_load_at if mid_load_at is not None else total_requests // 2,
+            mid_load,
+        )
     pool = []
     for i in range(clients):
         rng = np.random.default_rng([seed, i])
@@ -147,7 +193,7 @@ def run_load(
             }
             for _ in range(requests_per_client)
         ]
-        pool.append(_Client(i, payloads, send, barrier))
+        pool.append(_Client(i, payloads, send, barrier, trigger))
     registry = obs_metrics.get_metrics()
     before = registry.snapshot() if registry is not None else {}
     for client in pool:
@@ -220,6 +266,114 @@ def _train_bench_forest(n_trees: int, n_features: int, seed: int):
     return model
 
 
+def _fleet_parity_probe(app, model_id: str, n_features: int, seed: int) -> bool:
+    """Whether fleet predictions are bitwise identical to local predict_raw.
+
+    Routes one request through ``app.handle`` (the fleet dispatch path)
+    and compares the JSON floats against the front end's own engine —
+    the same buffers the workers map, so anything but exact equality is
+    a transport or attach bug.
+    """
+    rng = np.random.default_rng([seed, 987])
+    rows = rng.standard_normal((8, n_features))
+    response = app.handle(
+        "POST",
+        "/predict",
+        json.dumps({"model": model_id, "rows": rows.tolist()}).encode("utf-8"),
+    )
+    if response.status != 200:
+        return False
+    expected = app.registry.get(model_id).predict_raw(rows)
+    return response.json()["predictions"] == expected.tolist()
+
+
+def _bench_fleet_cells(
+    model,
+    *,
+    fleet_workers,
+    failover: bool,
+    clients: int,
+    requests_per_client: int,
+    rows_per_request: int,
+    seed: int,
+) -> list[dict]:
+    """Multi-process scaling cells (workers=N) plus the failover cell."""
+    from ..serve import FleetApp, FleetConfig, ServeConfig
+    from .faultinject import kill_worker
+
+    def build(workers: int) -> "FleetApp":
+        app = FleetApp(
+            ServeConfig(
+                max_batch=2 * clients,
+                batch_delay_s=0.001,
+                queue_limit=max(256, 4 * clients * requests_per_client),
+            ),
+            FleetConfig(workers=workers, replication=workers),
+        )
+        app.add_model("bench", model)
+        app.start_fleet()
+        return app
+
+    cells = []
+    for workers in fleet_workers:
+        app = build(int(workers))
+        try:
+            run_load(
+                app,
+                clients=clients,
+                requests_per_client=2,
+                rows_per_request=rows_per_request,
+                seed=seed + 1,
+            )
+            cell = run_load(
+                app,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                rows_per_request=rows_per_request,
+                seed=seed,
+            )
+            cell["name"] = f"fleet_w{workers}"
+            cell["workers"] = int(workers)
+            cell["identical"] = _fleet_parity_probe(
+                app, "bench", model.n_features_, seed
+            )
+        finally:
+            app.close(drain=True)
+        cells.append(cell)
+    baseline = next((c for c in cells if c["name"] == "fleet_w1"), None)
+    for cell in cells:
+        cell["speedup_vs_workers1"] = (
+            round(cell["rows_per_sec"] / baseline["rows_per_sec"], 2)
+            if baseline is not None and baseline["rows_per_sec"]
+            else None
+        )
+    if failover:
+        app = build(2)
+        try:
+            cell = run_load(
+                app,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                rows_per_request=rows_per_request,
+                seed=seed,
+                mid_load=lambda: kill_worker(app.fleet, "w0"),
+            )
+            cell["name"] = "fleet_failover"
+            cell["workers"] = 2
+            cell["killed_worker"] = "w0"
+            # Zero-lost accounting: anything that is neither a 200 nor an
+            # admission-controller shed was lost to the crash.
+            cell["lost"] = cell["errors"]
+            cell["identical"] = _fleet_parity_probe(
+                app, "bench", model.n_features_, seed
+            )
+            cell["speedup_vs_workers1"] = None
+        finally:
+            app.close(drain=True)
+        cells.append(cell)
+    return cells
+
+
 def bench_serve(
     *,
     clients: int = 16,
@@ -228,6 +382,8 @@ def bench_serve(
     n_trees: int = 200,
     n_features: int = 12,
     seed: int = 0,
+    fleet_workers=(),
+    fleet_failover: bool = False,
 ) -> dict:
     """Micro-batching vs batch-size-1 on the identical closed-loop workload.
 
@@ -235,7 +391,17 @@ def bench_serve(
     configurations differ only in ``max_batch``; the forest, the clients
     and every generated row are the same, so the throughput ratio
     isolates request coalescing.
+
+    ``fleet_workers`` adds one multi-process cell per entry (e.g.
+    ``(1, 2, 4)``), each a :class:`~repro.serve.fleet.FleetApp` with that
+    many workers and full replication, reporting ``rows_per_sec`` and
+    ``speedup_vs_workers1``; ``fleet_failover`` adds a cell that SIGKILLs
+    a worker mid-load and pins ``lost`` (requests neither answered nor
+    shed).  The artifact records ``cpu_count`` so the validator can gate
+    the ≥2x-at-4-workers assertion on hosts that can physically show it.
     """
+    import os
+
     from ..serve import ServeApp, ServeConfig
 
     model = _train_bench_forest(n_trees, n_features, seed)
@@ -283,6 +449,25 @@ def bench_serve(
             if baseline["requests_per_sec"]
             else None
         )
+    if fleet_workers or fleet_failover:
+        had_metrics = obs_metrics.get_metrics() is not None
+        if not had_metrics:
+            obs_metrics.enable_metrics()
+        try:
+            cells.extend(
+                _bench_fleet_cells(
+                    model,
+                    fleet_workers=tuple(fleet_workers),
+                    failover=fleet_failover,
+                    clients=clients,
+                    requests_per_client=requests_per_client,
+                    rows_per_request=rows_per_request,
+                    seed=seed,
+                )
+            )
+        finally:
+            if not had_metrics:
+                obs_metrics.disable_metrics()
     return {
         "benchmark": "serve",
         "forest": {
@@ -293,6 +478,7 @@ def bench_serve(
         },
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "cells": cells,
     }
 
@@ -314,12 +500,71 @@ _CELL_REQUIRED = (
     "speedup_vs_batch1",
 )
 
+_FLEET_CELL_REQUIRED = (
+    "name",
+    "workers",
+    "transport",
+    "clients",
+    "requests",
+    "ok",
+    "shed",
+    "errors",
+    "seconds",
+    "requests_per_sec",
+    "rows_per_sec",
+    "p50_ms",
+    "p99_ms",
+    "identical",
+    "speedup_vs_workers1",
+)
+
+#: Minimum host cores for the fleet-scaling assertion to be physically
+#: meaningful: 4 worker processes cannot beat 1 by 2x on fewer cores.
+_FLEET_SPEEDUP_MIN_CPUS = 4
+
+
+def _validate_fleet_cell(cell: dict, cpu_count) -> None:
+    for key in _FLEET_CELL_REQUIRED:
+        if key not in cell:
+            raise ValueError(f"fleet cell missing key {key!r}: {cell}")
+    if cell["identical"] is not True:
+        raise ValueError(
+            f"fleet cell {cell['name']!r} responses are not bitwise "
+            f"identical to single-process predict_raw"
+        )
+    if cell["name"] == "fleet_failover":
+        for key in ("killed_worker", "lost"):
+            if key not in cell:
+                raise ValueError(f"failover cell missing key {key!r}")
+        if cell["lost"] != 0:
+            raise ValueError(
+                f"failover cell lost {cell['lost']} in-flight requests "
+                f"beyond the shed count"
+            )
+    elif (
+        cell["name"] == "fleet_w4"
+        and isinstance(cpu_count, int)
+        and cpu_count >= _FLEET_SPEEDUP_MIN_CPUS
+    ):
+        speedup = cell["speedup_vs_workers1"]
+        if speedup is None or speedup < 2.0:
+            raise ValueError(
+                f"fleet_w4 speedup_vs_workers1 is {speedup}, expected >= "
+                f"2.0 on a {cpu_count}-core host"
+            )
+
 
 def validate_bench_serve(payload: dict) -> int:
     """Schema check for ``BENCH_serve.json``; returns the cell count.
 
     Raises ``ValueError`` on the first violation — the CI gate that keeps
-    the artifact machine-readable across refactors.
+    the artifact machine-readable across refactors.  Fleet cells
+    (``fleet_w<N>`` / ``fleet_failover``) carry their own schema: the
+    parity flag must assert bitwise-identical responses, the failover
+    cell must report zero lost requests, and — on hosts recording
+    ``cpu_count >= 4`` — ``fleet_w4`` must show ≥2x rows/sec over
+    ``fleet_w1`` (a 1-core CI runner cannot physically show the scaling,
+    so the gate keys on the recorded host shape, not on hope).
     """
     if payload.get("benchmark") != "serve":
         raise ValueError("benchmark key must be 'serve'")
@@ -331,13 +576,20 @@ def validate_bench_serve(payload: dict) -> int:
         raise ValueError("cells must be a non-empty list")
     names = set()
     for cell in cells:
-        for key in _CELL_REQUIRED:
-            if key not in cell:
-                raise ValueError(f"cell missing key {key!r}: {cell}")
+        if str(cell.get("name", "")).startswith("fleet_"):
+            if "cpu_count" not in payload:
+                raise ValueError(
+                    "artifacts with fleet cells must record cpu_count"
+                )
+            _validate_fleet_cell(cell, payload["cpu_count"])
+        else:
+            for key in _CELL_REQUIRED:
+                if key not in cell:
+                    raise ValueError(f"cell missing key {key!r}: {cell}")
+            if not isinstance(cell["batch_size_hist"], dict):
+                raise ValueError("batch_size_hist must be a dict")
         if cell["ok"] + cell["shed"] + cell["errors"] != cell["requests"]:
             raise ValueError(f"cell outcomes do not sum to requests: {cell}")
-        if not isinstance(cell["batch_size_hist"], dict):
-            raise ValueError("batch_size_hist must be a dict")
         names.add(cell["name"])
     if "batch1" not in names:
         raise ValueError("cells must include the 'batch1' baseline")
@@ -356,28 +608,63 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=25)
     parser.add_argument("--rows", type=int, default=4)
     parser.add_argument("--trees", type=int, default=200)
+    parser.add_argument(
+        "--fleet-workers",
+        default="",
+        help="comma-separated worker counts for fleet cells, e.g. 1,2,4",
+    )
+    parser.add_argument(
+        "--fleet-failover",
+        action="store_true",
+        help="add the kill-a-worker-mid-load failover cell",
+    )
     parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
     args = parser.parse_args(argv)
 
+    fleet_workers = tuple(
+        int(w) for w in args.fleet_workers.split(",") if w.strip()
+    )
     artifact = bench_serve(
         clients=args.clients,
         requests_per_client=args.requests,
         rows_per_request=args.rows,
         n_trees=args.trees,
+        fleet_workers=fleet_workers,
+        fleet_failover=args.fleet_failover,
     )
     validate_bench_serve(artifact)
     args.out.write_text(json.dumps(artifact, indent=2) + "\n")
     failures = []
     for cell in artifact["cells"]:
-        print(
-            f"{cell['name']:>10}: {cell['requests_per_sec']:>8.1f} req/s  "
-            f"p50 {cell['p50_ms']:.2f}ms  p99 {cell['p99_ms']:.2f}ms  "
-            f"ok={cell['ok']} shed={cell['shed']} errors={cell['errors']}  "
-            f"speedup {cell['speedup_vs_batch1']}x"
-        )
+        if str(cell["name"]).startswith("fleet_"):
+            extra = (
+                f"lost={cell['lost']}"
+                if cell["name"] == "fleet_failover"
+                else f"speedup {cell['speedup_vs_workers1']}x"
+            )
+            print(
+                f"{cell['name']:>14}: {cell['rows_per_sec']:>8.1f} rows/s  "
+                f"p50 {cell['p50_ms']:.2f}ms  p99 {cell['p99_ms']:.2f}ms  "
+                f"ok={cell['ok']} shed={cell['shed']} "
+                f"errors={cell['errors']}  identical={cell['identical']}  "
+                f"{extra}"
+            )
+        else:
+            print(
+                f"{cell['name']:>14}: {cell['requests_per_sec']:>8.1f} req/s  "
+                f"p50 {cell['p50_ms']:.2f}ms  p99 {cell['p99_ms']:.2f}ms  "
+                f"ok={cell['ok']} shed={cell['shed']} "
+                f"errors={cell['errors']}  "
+                f"speedup {cell['speedup_vs_batch1']}x"
+            )
         if cell["requests_per_sec"] <= 0:
             failures.append(f"{cell['name']}: zero throughput")
-        if cell["errors"]:
+        if cell["name"] == "fleet_failover":
+            if cell["lost"]:
+                failures.append(
+                    f"fleet_failover: {cell['lost']} lost in-flight requests"
+                )
+        elif cell["errors"]:
             failures.append(f"{cell['name']}: {cell['errors']} errors")
     for failure in failures:
         print(f"FAIL {failure}")

@@ -238,6 +238,24 @@ _ENTRIES = (
         rationale="class -> (status, kind) table consulted per request, "
         "built by one dict display",
     ),
+    # repro.serve.shm — the fleet's shared-memory segment bookkeeping:
+    # which segments this process owns (for unlink-on-drain, crash
+    # cleanup, the atexit sweep and the leak regression test) and the
+    # monotonic counter minting unique segment names.  Both only ever
+    # touched under shm._shm_lock.
+    GlobalEntry(
+        module="repro.serve.shm", name="_live_segments",
+        discipline="lock", lock="_shm_lock",
+        rationale="owner-side set of segment names; every add/discard/"
+        "snapshot is under the lock so no cleanup path can race another "
+        "into double-unlinking or leaking a segment",
+    ),
+    GlobalEntry(
+        module="repro.serve.shm", name="_segment_counter",
+        discipline="lock", lock="_shm_lock",
+        rationale="monotonic suffix for segment names; incremented under "
+        "the lock so two concurrent exports never mint the same name",
+    ),
     # The analysis layer's own architecture table.
     GlobalEntry(
         module="repro.devtools.analysis.layering", name="ALLOWED_DEPS",

@@ -452,8 +452,12 @@ class RaiseOutsideTaxonomyRule(LintRule):
             "repro.serve.admission",
             "repro.serve.app",
             "repro.serve.batcher",
+            "repro.serve.fleet",
             "repro.serve.registry",
+            "repro.serve.shm",
+            "repro.serve.supervisor",
             "repro.serve.surrogate",
+            "repro.serve.worker",
         }
     )
 

@@ -468,6 +468,76 @@ class BitvectorForest:
             raw = raw + values[t]
             yield raw.copy()
 
+    # ------------------------------------------------------------------
+    # flat-buffer export (shared-memory serving fleet)
+    # ------------------------------------------------------------------
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """The bitvector forest as flat buffers plus scalar metadata.
+
+        Same contract as :meth:`repro.forest.packed.PackedForest.
+        export_state`: every buffer evaluation reads is returned under a
+        stable key (the ragged per-feature threshold lists and prefix
+        tables use ``"feat_thr:<f>"`` / ``"table:<f>"`` keys; features
+        without conditions simply have no entry), and
+        :meth:`from_state` rebuilds an equivalent engine from views over
+        those buffers — typically shared-memory views placed by
+        :mod:`repro.serve.shm`.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "leaf_values": self.leaf_values,
+            "leaf_offsets": self.leaf_offsets,
+            "init_vec": self.init_vec,
+        }
+        for f in range(self.n_features):
+            if self.tables[f] is not None:
+                arrays[f"feat_thr:{f}"] = self.feat_thr[f]
+                arrays[f"table:{f}"] = self.tables[f]
+        meta = {
+            "n_trees": self.n_trees,
+            "n_features": self.n_features,
+            "init_score": self.init_score,
+            "fingerprint": self.fingerprint,
+            "n_words": self.n_words,
+            "word_bits": self.word_bits,
+            "table_bytes": self.table_bytes,
+            "n_conditions": self.n_conditions,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(
+        cls, arrays: dict[str, np.ndarray], meta: dict
+    ) -> "BitvectorForest":
+        """Rebuild a :class:`BitvectorForest` from :meth:`export_state` output.
+
+        The arrays are adopted as-is (typically read-only shared-memory
+        views); evaluation never writes into them, so the rebuilt engine
+        is bitwise identical to the exporting one.
+        """
+        self = cls()
+        self.n_trees = int(meta["n_trees"])
+        self.n_features = int(meta["n_features"])
+        self.init_score = float(meta["init_score"])
+        self.fingerprint = int(meta["fingerprint"])
+        self.n_words = int(meta["n_words"])
+        self.word_bits = int(meta["word_bits"])
+        self.table_bytes = int(meta["table_bytes"])
+        self.n_conditions = int(meta["n_conditions"])
+        self.leaf_values = arrays["leaf_values"]
+        self.leaf_offsets = arrays["leaf_offsets"]
+        self.init_vec = arrays["init_vec"]
+        self.feat_thr = []
+        self.tables = []
+        for f in range(self.n_features):
+            table = arrays.get(f"table:{f}")
+            if table is None:
+                self.feat_thr.append(np.empty(0, dtype=np.float64))
+                self.tables.append(None)
+            else:
+                self.feat_thr.append(arrays[f"feat_thr:{f}"])
+                self.tables.append(table)
+        return self
+
     def clear_cache(self) -> None:
         """Drop all cached prediction results."""
         with self._cache_lock:

@@ -507,6 +507,77 @@ class PackedForest:
         with self._cache_lock:
             self._cache.clear()
 
+    # ------------------------------------------------------------------
+    # flat-buffer export (shared-memory serving fleet)
+    # ------------------------------------------------------------------
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """The packed forest as flat buffers plus scalar metadata.
+
+        Everything evaluation touches is a contiguous numpy array, so a
+        packed forest exports losslessly as ``(arrays, meta)``:
+        ``arrays`` maps buffer keys (the ragged per-feature codebook uses
+        ``"feat_thr:<f>"`` keys) to arrays, ``meta`` carries the scalars.
+        :meth:`from_state` rebuilds an equivalent engine from views over
+        those buffers — the contract :mod:`repro.serve.shm` uses to place
+        one copy of a forest in ``multiprocessing.shared_memory`` and
+        attach it zero-copy from every fleet worker.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "records": self.records,
+            "leaf_values": self.leaf_values,
+            "roots": self.roots,
+            "single_leaf": self.single_leaf,
+            "active_trees": self.active_trees,
+        }
+        for f, thr in enumerate(self.feat_thr):
+            arrays[f"feat_thr:{f}"] = thr
+        meta = {
+            "n_trees": self.n_trees,
+            "n_features": self.n_features,
+            "init_score": self.init_score,
+            "fingerprint": self.fingerprint,
+            "code_bits": self._code_bits,
+            "f_bits": self._f_bits,
+            "leaf_code": self._leaf_code,
+            "f_shift": self._f_shift,
+            "l1_shift": self._l1_shift,
+            "rdtype": np.dtype(self._rdtype).str,
+            "idtype": np.dtype(self._idtype).str,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(
+        cls, arrays: dict[str, np.ndarray], meta: dict
+    ) -> "PackedForest":
+        """Rebuild a :class:`PackedForest` from :meth:`export_state` output.
+
+        The arrays are adopted as-is (typically read-only views over a
+        shared-memory segment); evaluation never writes into them, so the
+        rebuilt engine is bitwise identical to the exporting one.
+        """
+        self = cls()
+        self.n_trees = int(meta["n_trees"])
+        self.n_features = int(meta["n_features"])
+        self.init_score = float(meta["init_score"])
+        self.fingerprint = int(meta["fingerprint"])
+        self._code_bits = int(meta["code_bits"])
+        self._f_bits = int(meta["f_bits"])
+        self._leaf_code = int(meta["leaf_code"])
+        self._f_shift = int(meta["f_shift"])
+        self._l1_shift = int(meta["l1_shift"])
+        self._rdtype = np.dtype(meta["rdtype"]).type
+        self._idtype = np.dtype(meta["idtype"]).type
+        self.records = arrays["records"]
+        self.leaf_values = arrays["leaf_values"]
+        self.roots = arrays["roots"]
+        self.single_leaf = arrays["single_leaf"]
+        self.active_trees = arrays["active_trees"]
+        self.feat_thr = [
+            arrays[f"feat_thr:{f}"] for f in range(self.n_features)
+        ]
+        return self
+
 
 # ----------------------------------------------------------------------
 # model integration: cached packing, invalidation, engine dispatch

@@ -14,7 +14,12 @@ service:
 * :mod:`~repro.serve.admission` — bounded queues, 429-style shedding,
   request deadlines on the pipeline clock, graceful drain;
 * :mod:`~repro.serve.app` / :mod:`~repro.serve.http` — the endpoint
-  dispatcher and the thin stdlib HTTP adapter over it.
+  dispatcher and the thin stdlib HTTP adapter over it;
+* :mod:`~repro.serve.fleet` / :mod:`~repro.serve.supervisor` /
+  :mod:`~repro.serve.shm` / :mod:`~repro.serve.worker` — the
+  multi-process fleet: forests exported once into shared memory,
+  N supervised worker processes with heartbeats, crash-only failover,
+  backoff restarts and quorum-based degradation to in-proc serving.
 
 Start a server from Python::
 
@@ -32,13 +37,19 @@ or from the command line with ``repro serve model.json``.
 from .admission import AdmissionController, Deadline
 from .app import Response, ServeApp, ServeConfig
 from .batcher import MicroBatcher
+from .fleet import Fleet, FleetApp, FleetConfig, HashRing
 from .http import ServerHandle, get_server, start_server, stop_server
 from .registry import ModelEntry, ModelRegistry
+from .supervisor import Supervisor
 from .surrogate import SurrogateCache
 
 __all__ = [
     "AdmissionController",
     "Deadline",
+    "Fleet",
+    "FleetApp",
+    "FleetConfig",
+    "HashRing",
     "MicroBatcher",
     "ModelEntry",
     "ModelRegistry",
@@ -46,6 +57,7 @@ __all__ = [
     "ServeApp",
     "ServeConfig",
     "ServerHandle",
+    "Supervisor",
     "SurrogateCache",
     "get_server",
     "start_server",

@@ -39,6 +39,7 @@ from ..core.config import GEFConfig
 from ..core.errors import (
     BadRequestError,
     FitDivergenceError,
+    FleetDegradedError,
     ForestValidationError,
     ModelNotFoundError,
     ReproError,
@@ -48,6 +49,7 @@ from ..core.errors import (
     ShedError,
     StageFailureError,
     StageTimeoutError,
+    WorkerCrashError,
 )
 from ..obs.metrics import (
     inc as metric_inc,
@@ -78,6 +80,8 @@ ERROR_STATUS: dict[type, tuple[int, str | None]] = {
     BadRequestError: (400, "bad-request"),
     ModelNotFoundError: (404, "model-not-found"),
     StageTimeoutError: (504, "timeout"),
+    WorkerCrashError: (503, "worker-crash"),
+    FleetDegradedError: (503, "fleet-degraded"),
     ForestValidationError: (500, None),
     SamplingError: (500, None),
     SelectionError: (500, None),
@@ -156,6 +160,15 @@ class ServeApp:
     def add_model(self, model_id: str, source) -> ModelEntry:
         """Register (or hot-swap) a model and give it a micro-batcher."""
         entry = self.registry.add(model_id, source)
+        return self.install_entry(entry)
+
+    def install_entry(self, entry: ModelEntry) -> ModelEntry:
+        """Wire a micro-batcher onto an already-registered entry.
+
+        Split out of :meth:`add_model` so fleet workers can install
+        entries whose engines were attached from shared memory (see
+        :meth:`~repro.serve.registry.ModelRegistry.add_entry`).
+        """
         batcher = MicroBatcher(
             entry.predict_raw,
             max_batch=self.config.max_batch,

@@ -160,8 +160,10 @@ def _cmd_explain(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import threading
+
     from .core.config import GEFConfig
-    from .obs import enable_metrics
+    from .obs import default_slo_config, enable_metrics
     from .serve import FleetApp, FleetConfig, ServeApp, ServeConfig, start_server
     from .serve.http import set_server
 
@@ -178,6 +180,16 @@ def _cmd_serve(args) -> int:
             k_points=args.k,
             n_samples=args.samples,
             random_state=args.seed,
+        ),
+        slo=(
+            default_slo_config(
+                fidelity_warn=args.slo_fidelity_warn,
+                fidelity_breach=args.slo_fidelity_breach,
+                p99_s=args.slo_p99_ms / 1e3,
+                error_budget=args.slo_error_budget,
+            )
+            if args.slo
+            else None
         ),
     )
     enable_metrics()
@@ -208,6 +220,24 @@ def _cmd_serve(args) -> int:
             f"quorum {args.quorum}, heartbeat every "
             f"{args.heartbeat_interval:g}s"
         )
+    slo_stop = None
+    if args.slo:
+        slo_stop = threading.Event()
+
+        def _slo_loop() -> None:
+            while not slo_stop.is_set():
+                app.slo_tick()
+                slo_stop.wait(args.slo_interval)
+
+        threading.Thread(
+            target=_slo_loop, name="repro-serve-slo", daemon=True
+        ).start()
+        print(
+            f"SLO monitor on: fidelity warn<{args.slo_fidelity_warn:g} "
+            f"breach<{args.slo_fidelity_breach:g}, "
+            f"p99<{args.slo_p99_ms:g}ms, error budget "
+            f"{args.slo_error_budget:g}, tick every {args.slo_interval:g}s"
+        )
     handle = start_server(app, host=args.host, port=args.port)
     set_server(handle)
     print(
@@ -222,6 +252,8 @@ def _cmd_serve(args) -> int:
     finally:
         from .serve.http import stop_server
 
+        if slo_stop is not None:
+            slo_stop.set()
         stop_server(drain=True)
     return 0
 
@@ -345,6 +377,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--heartbeat-interval", type=float, default=1.0,
                        help="supervisor tick interval in seconds "
                             "(heartbeats, crash detection, restarts)")
+    serve.add_argument("--slo", action="store_true",
+                       help="enable the SLO engine + fidelity drift "
+                            "monitor (state surfaced in /healthz)")
+    serve.add_argument("--slo-fidelity-warn", type=float, default=0.9,
+                       help="rolling forest-GAM R2 below this warns")
+    serve.add_argument("--slo-fidelity-breach", type=float, default=0.8,
+                       help="rolling forest-GAM R2 below this breaches")
+    serve.add_argument("--slo-p99-ms", type=float, default=250.0,
+                       help="p99 request latency objective in ms")
+    serve.add_argument("--slo-error-budget", type=float, default=0.01,
+                       help="tolerated 5xx fraction per SLO tick")
+    serve.add_argument("--slo-interval", type=float, default=5.0,
+                       help="SLO evaluation interval in seconds")
     serve.add_argument("--splines", type=int, default=5,
                        help="|F'| for surrogate fits behind /explain")
     serve.add_argument("--interactions", type=int, default=0,

@@ -47,6 +47,7 @@ __all__ = [
     "force_kernel_fault",
     "hang_worker",
     "kill_worker",
+    "skew_surrogate",
     "stall_stage",
 ]
 
@@ -298,6 +299,27 @@ def hang_worker(fleet, name: str) -> Iterator[None]:
             fleet.chaos(name, "mute_pings", False)
         except Exception:  # repro: allow(broad-except) the worker is usually dead by now; restored workers boot unmuted
             pass
+
+
+@contextmanager
+def skew_surrogate(app, offset: float) -> Iterator[None]:
+    """Inject fidelity drift: bias every surrogate replay by ``offset``.
+
+    The ``corrupt_forest`` analogue for the serving-time fidelity SLO:
+    the app's :class:`~repro.obs.drift.DriftMonitor` adds ``offset`` to
+    each cached-surrogate prediction during ``evaluate``, so the rolling
+    forest–GAM R² degrades by an exactly computable amount — tests pick
+    offsets that land fidelity in the warn or breach band and drive the
+    SLO state machine deterministically, no model corruption and no
+    sleeps involved.  Requires an app constructed with ``config.slo``.
+    """
+    if getattr(app, "drift", None) is None:
+        raise ValueError("skew_surrogate needs an app with SLO enabled")  # repro: allow(raise-outside-taxonomy) harness misuse, not a request failure
+    app.drift.set_skew(float(offset))
+    try:
+        yield
+    finally:
+        app.drift.set_skew(0.0)
 
 
 @contextmanager

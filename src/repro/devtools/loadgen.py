@@ -36,7 +36,13 @@ import numpy as np
 from ..obs import metrics as obs_metrics
 from ..obs.trace import monotonic
 
-__all__ = ["bench_serve", "main", "run_load", "validate_bench_serve"]
+__all__ = [
+    "bench_serve",
+    "fleet_obs_smoke",
+    "main",
+    "run_load",
+    "validate_bench_serve",
+]
 
 
 def _http_post(url: str, payload: dict, timeout_s: float):
@@ -596,6 +602,131 @@ def validate_bench_serve(payload: dict) -> int:
     return len(cells)
 
 
+def fleet_obs_smoke(
+    *,
+    workers: int = 4,
+    clients: int = 8,
+    requests_per_client: int = 6,
+    rows_per_request: int = 4,
+    n_trees: int = 50,
+    n_features: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Fleet observability acceptance smoke: counter parity + schemas.
+
+    Runs the identical deterministic request stream twice — once against
+    a single-process :class:`~repro.serve.app.ServeApp`, once against a
+    fully-replicated ``workers``-process fleet — each on a fresh metrics
+    registry, and checks that the *fleet-aggregated* worker counters
+    exactly equal the single-process totals (``predict.rows``,
+    ``serve.requests.predict``, and the ``serve.batch_rows`` histogram
+    sum; bucket shapes legitimately differ with flush boundaries, row
+    totals cannot).  The fleet run also exports a merged multi-process
+    trace validated against the Chrome schema and a ``/metrics`` body
+    validated against the Prometheus schema.  Returns a JSON-ready
+    report with an overall ``ok`` flag.
+    """
+    from ..obs.trace import (
+        disable_tracing,
+        enable_tracing,
+        validate_chrome_trace,
+    )
+    from ..serve import FleetApp, FleetConfig, ServeApp, ServeConfig
+
+    model = _train_bench_forest(n_trees, n_features, seed)
+    serve_config = dict(
+        max_batch=2 * clients,
+        batch_delay_s=0.001,
+        queue_limit=max(256, 4 * clients * requests_per_client),
+    )
+
+    def workload(app):
+        return run_load(
+            app,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            rows_per_request=rows_per_request,
+            seed=seed,
+        )
+
+    def predict_totals(snapshot: dict) -> dict:
+        counters = snapshot.get("counters", {})
+        hist = snapshot.get("histograms", {}).get("serve.batch_rows", {})
+        return {
+            "predict.rows": float(counters.get("predict.rows", 0.0)),
+            "serve.requests.predict": float(
+                counters.get("serve.requests.predict", 0.0)
+            ),
+            "serve.batch_rows.sum": float(hist.get("sum") or 0.0),
+        }
+
+    obs_metrics.disable_metrics()
+    obs_metrics.enable_metrics()
+    try:
+        app = ServeApp(ServeConfig(**serve_config))
+        app.add_model("smoke", model)
+        try:
+            single_cell = workload(app)
+        finally:
+            app.close(drain=True)
+        single = predict_totals(obs_metrics.get_metrics().snapshot())
+    finally:
+        obs_metrics.disable_metrics()
+
+    obs_metrics.enable_metrics()
+    enable_tracing()
+    try:
+        fleet_app = FleetApp(
+            ServeConfig(**serve_config),
+            FleetConfig(workers=workers, replication=workers),
+        )
+        fleet_app.add_model("smoke", model)
+        fleet_app.start_fleet()
+        try:
+            fleet_cell = workload(fleet_app)
+            answered = fleet_app.fleet.sync_obs()
+            fleet = predict_totals(
+                fleet_app.fleet.aggregator.fleet_snapshot()
+            )
+            prom_samples = obs_metrics.validate_prometheus_text(
+                fleet_app._metrics_text()
+            )
+            trace = fleet_app.fleet.merged_trace()
+            trace_events = validate_chrome_trace(trace)
+            lane_pids = sorted(
+                {e["pid"] for e in trace["traceEvents"]}
+            )
+        finally:
+            fleet_app.close(drain=True)
+    finally:
+        disable_tracing()
+        obs_metrics.disable_metrics()
+
+    mismatched = sorted(k for k in single if fleet.get(k) != single[k])
+    report = {
+        "workers": workers,
+        "requests": clients * requests_per_client,
+        "single_ok": single_cell["ok"],
+        "fleet_ok": fleet_cell["ok"],
+        "single_totals": single,
+        "fleet_totals": fleet,
+        "mismatched_counters": mismatched,
+        "workers_answering_obs": answered,
+        "prometheus_samples": prom_samples,
+        "trace_events": trace_events,
+        "trace_pids": lane_pids,
+        "ok": (
+            not mismatched
+            and single_cell["ok"] == single_cell["requests"]
+            and fleet_cell["ok"] == fleet_cell["requests"]
+            and answered == workers
+            # one lane per worker plus the front end's pid-1 lane
+            and len(lane_pids) >= workers + 1
+        ),
+    }
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     """CI smoke: run the serve benchmark, write and validate the artifact."""
     import argparse
@@ -618,8 +749,37 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="add the kill-a-worker-mid-load failover cell",
     )
+    parser.add_argument(
+        "--obs-smoke",
+        type=int,
+        default=0,
+        metavar="WORKERS",
+        help="run the fleet observability smoke (counter parity, merged "
+        "trace + /metrics schemas) with this many workers instead of the "
+        "benchmark",
+    )
     parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
     args = parser.parse_args(argv)
+
+    if args.obs_smoke:
+        report = fleet_obs_smoke(
+            workers=args.obs_smoke,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            rows_per_request=args.rows,
+            n_trees=args.trees,
+        )
+        print(json.dumps(report, indent=2))
+        if not report["ok"]:
+            print("FAIL fleet observability smoke")
+            return 1
+        print(
+            f"ok: {report['workers']} workers, counters exactly equal "
+            f"({report['fleet_totals']}), {report['trace_events']} trace "
+            f"events across pids {report['trace_pids']}, "
+            f"{report['prometheus_samples']} prometheus samples"
+        )
+        return 0
 
     fleet_workers = tuple(
         int(w) for w in args.fleet_workers.split(",") if w.strip()

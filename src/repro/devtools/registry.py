@@ -160,7 +160,7 @@ _ENTRIES = (
     GlobalEntry(
         module="repro.obs.trace", name="_tracer",
         discipline="lock", lock="_state_lock",
-        atomic_reads=("get_tracer", "span"),
+        atomic_reads=("current_context", "get_tracer", "span"),
         rationale="one None-check per span site; the tracer object is "
         "replaced whole, never mutated in place",
     ),

@@ -449,6 +449,8 @@ class RaiseOutsideTaxonomyRule(LintRule):
             "repro.core.validate",
             "repro.forest.bitvector",
             "repro.forest.engines",
+            "repro.obs.drift",
+            "repro.obs.slo",
             "repro.serve.admission",
             "repro.serve.app",
             "repro.serve.batcher",
@@ -495,13 +497,21 @@ class AdhocTimingRule(LintRule):
     )
     node_types = (ast.Attribute, ast.ImportFrom)
 
-    #: Module prefixes forming the instrumented pipeline.  ``repro.obs``
-    #: itself is the timing authority and exempt; devtools, cli and the
-    #: xai baselines are harness code outside the traced pipeline.
+    #: Module prefixes forming the instrumented pipeline.
+    #: ``repro.obs.trace`` is the timing authority and exempt; the other
+    #: obs modules (metrics, summary, profile, slo, drift) must go
+    #: through its pipeline clock like everything else.  devtools, cli
+    #: and the xai baselines are harness code outside the traced
+    #: pipeline.  Exact module names work as prefixes here (startswith).
     _PIPELINE_PREFIXES = (
         "repro.core.",
         "repro.gam.",
         "repro.forest.",
+        "repro.obs.drift",
+        "repro.obs.metrics",
+        "repro.obs.profile",
+        "repro.obs.slo",
+        "repro.obs.summary",
         "repro.serve.",
     )
 

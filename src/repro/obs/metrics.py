@@ -46,9 +46,11 @@ import re
 import threading
 
 __all__ = [
+    "MetricsAggregator",
     "MetricsRegistry",
     "disable_metrics",
     "enable_metrics",
+    "fleet_to_prometheus",
     "get_metrics",
     "inc",
     "observe",
@@ -150,6 +152,162 @@ class MetricsRegistry:
         """Drop every recorded metric."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+class MetricsAggregator:
+    """Delta-merges per-worker metric snapshots into fleet totals.
+
+    Fleet workers export *monotonic* snapshots of their process-local
+    :class:`MetricsRegistry` over the control channel; the front end
+    feeds them to :meth:`ingest`.  Merging is delta-based against the
+    previous snapshot from the same worker slot, keyed by pid:
+
+    * a worker **restart** (new pid in the same slot) resets the baseline
+      to zero, so the fresh process's counters are counted from scratch
+      while the crashed process's already-merged contribution is kept —
+      no double counting, no lost increments;
+    * an **in-process counter reset** (a negative delta without a pid
+      change) is treated the same way: the new absolute value *is* the
+      delta;
+    * histograms merge per log2 bucket (sum of per-bucket count deltas)
+      plus count/sum deltas; min/max are lifetime extremes across every
+      process that ever reported;
+    * gauges are last-write-wins per worker; the fleet-level gauge is the
+      sum over the latest value of each live worker slot.
+
+    :meth:`fleet_snapshot` returns the merged totals in the exact shape
+    of :meth:`MetricsRegistry.snapshot`, so :func:`to_prometheus` renders
+    it unchanged; :meth:`worker_series` exposes the per-worker cumulative
+    series behind the ``worker="..."``-labeled exposition.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._baselines: dict[str, dict] = {}
+        self._counters: dict[str, float] = {}
+        self._worker_counters: dict[str, dict[str, float]] = {}
+        self._gauges: dict[str, dict[str, float]] = {}
+        self._hists: dict[str, dict] = {}
+
+    @staticmethod
+    def _delta(new: float, old: float) -> float:
+        # A shrinking cumulative value means the source process reset its
+        # registry: the new absolute value is the whole delta.
+        return new if new < old else new - old
+
+    def ingest(self, worker: str, pid: int, snapshot: dict) -> None:
+        """Merge one worker's monotonic snapshot into the fleet totals."""
+        with self._lock:
+            baseline = self._baselines.get(worker)
+            if baseline is None or baseline["pid"] != pid:
+                base: dict = {}
+            else:
+                base = baseline["snapshot"]
+            base_counters = base.get("counters", {})
+            worker_counters = self._worker_counters.setdefault(worker, {})
+            for name, value in snapshot.get("counters", {}).items():
+                delta = self._delta(
+                    float(value), float(base_counters.get(name, 0.0))
+                )
+                if delta:
+                    self._counters[name] = (
+                        self._counters.get(name, 0.0) + delta
+                    )
+                    worker_counters[name] = (
+                        worker_counters.get(name, 0.0) + delta
+                    )
+            worker_gauges = self._gauges.setdefault(worker, {})
+            for name, value in snapshot.get("gauges", {}).items():
+                worker_gauges[name] = float(value)
+            base_hists = base.get("histograms", {})
+            for name, hist in snapshot.get("histograms", {}).items():
+                base_hist = base_hists.get(name, {})
+                if float(hist.get("count", 0)) < float(
+                    base_hist.get("count", 0)
+                ):
+                    base_hist = {}
+                merged = self._hists.get(name)
+                if merged is None:
+                    merged = {
+                        "count": 0, "sum": 0.0,
+                        "min": math.inf, "max": -math.inf,
+                        "buckets": {},
+                    }
+                    self._hists[name] = merged
+                merged["count"] += int(
+                    hist.get("count", 0) - base_hist.get("count", 0)
+                )
+                merged["sum"] += float(
+                    hist.get("sum", 0.0) - base_hist.get("sum", 0.0)
+                )
+                for bound in ("min", "max"):
+                    value = hist.get(bound)
+                    if value is None:
+                        continue
+                    merged[bound] = (
+                        min(merged[bound], value) if bound == "min"
+                        else max(merged[bound], value)
+                    )
+                base_buckets = base_hist.get("buckets", {})
+                for key, count in hist.get("buckets", {}).items():
+                    delta = int(count) - int(base_buckets.get(key, 0))
+                    if delta:
+                        merged["buckets"][key] = (
+                            merged["buckets"].get(key, 0) + delta
+                        )
+            self._baselines[worker] = {"pid": int(pid), "snapshot": snapshot}
+
+    def fleet_snapshot(self) -> dict:
+        """Merged fleet totals, shaped like :meth:`MetricsRegistry.snapshot`."""
+        with self._lock:
+            hists = {}
+            for name, hist in self._hists.items():
+                count = hist["count"]
+                hists[name] = {
+                    "count": count,
+                    "sum": hist["sum"],
+                    "min": hist["min"] if count else None,
+                    "max": hist["max"] if count else None,
+                    "mean": (hist["sum"] / count) if count else None,
+                    "buckets": dict(hist["buckets"]),
+                }
+            gauges: dict[str, float] = {}
+            for worker_gauges in self._gauges.values():
+                for name, value in worker_gauges.items():
+                    gauges[name] = gauges.get(name, 0.0) + value
+            return {
+                "counters": dict(self._counters),
+                "gauges": gauges,
+                "histograms": hists,
+            }
+
+    def worker_series(self) -> dict[str, dict]:
+        """Per-worker cumulative counters and latest gauges.
+
+        Counters are cumulative across every process that ever occupied
+        the slot (restart-safe, monotone); gauges are the slot's latest
+        reported values.
+        """
+        with self._lock:
+            return {
+                worker: {
+                    "pid": self._baselines.get(worker, {}).get("pid"),
+                    "counters": dict(self._worker_counters.get(worker, {})),
+                    "gauges": dict(self._gauges.get(worker, {})),
+                }
+                for worker in sorted(
+                    set(self._worker_counters) | set(self._gauges)
+                )
+            }
+
+    def reset(self) -> None:
+        """Drop every merged total and baseline."""
+        with self._lock:
+            self._baselines.clear()
+            self._counters.clear()
+            self._worker_counters.clear()
             self._gauges.clear()
             self._hists.clear()
 
@@ -265,6 +423,43 @@ def to_prometheus(snapshot: dict | None = None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def fleet_to_prometheus(aggregator: MetricsAggregator) -> str:
+    """Render fleet-aggregated metrics in Prometheus exposition format.
+
+    Two blocks: the delta-merged fleet totals under a ``fleet.`` name
+    prefix (counters, gauges, and cumulative-``le`` histograms whose
+    buckets are sums of per-worker bucket counts), then the per-worker
+    cumulative series as ``fleet_worker_*`` samples labeled
+    ``worker="<slot>"``.  :class:`~repro.serve.fleet.FleetApp` appends
+    this to the front end's own ``/metrics`` exposition.
+    """
+    snapshot = aggregator.fleet_snapshot()
+    prefixed = {
+        kind: {f"fleet.{name}": value for name, value in series.items()}
+        for kind, series in snapshot.items()
+    }
+    lines = [to_prometheus(prefixed).rstrip("\n")] if any(
+        prefixed.values()
+    ) else []
+    series = aggregator.worker_series()
+    families: dict[tuple[str, str], list[tuple[str, float]]] = {}
+    for worker in sorted(series):
+        data = series[worker]
+        for name, value in data["counters"].items():
+            pname = _prom_name(f"fleet.worker.{name}") + "_total"
+            families.setdefault(("counter", pname), []).append((worker, value))
+        for name, value in data["gauges"].items():
+            pname = _prom_name(f"fleet.worker.{name}")
+            families.setdefault(("gauge", pname), []).append((worker, value))
+    for (kind, pname), samples in sorted(
+        families.items(), key=lambda item: (item[0][0], item[0][1])
+    ):
+        lines.append(f"# TYPE {pname} {kind}")
+        for worker, value in samples:
+            lines.append(f'{pname}{{worker="{worker}"}} {_prom_value(value)}')
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 _PROM_SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^{}]*)\})?"
@@ -276,19 +471,33 @@ _PROM_TYPE = re.compile(
 )
 
 
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _parse_labels(text: str, i: int) -> dict[str, str]:
+    """The label pairs of one sample line (strict: no leftover text)."""
+    labels = dict(_PROM_LABEL.findall(text))
+    rebuilt = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    if rebuilt != text:
+        raise ValueError(f"line {i}: malformed label set {{{text}}}")
+    return labels
+
+
 def validate_prometheus_text(text: str) -> int:
     """Validate a Prometheus exposition payload; returns the sample count.
 
     The structural contract scrape targets rely on: every non-comment
     line is a well-formed sample, every sample's family carries a ``#
-    TYPE`` declaration, histogram ``_bucket`` series are cumulative and
-    end with ``le="+Inf"``, and ``_count`` equals the ``+Inf`` bucket.
-    Raises ``ValueError`` on the first violation — the schema-test mirror
-    of :func:`repro.obs.trace.validate_chrome_trace`.
+    TYPE`` declaration, and — per distinct non-``le`` label set, so
+    ``worker="..."``-labeled fleet series validate independently —
+    histogram ``_bucket`` series are cumulative, end with ``le="+Inf"``,
+    and agree with their ``_count``.  Raises ``ValueError`` on the first
+    violation — the schema-test mirror of
+    :func:`repro.obs.trace.validate_chrome_trace`.
     """
     declared: dict[str, str] = {}
-    buckets: dict[str, list[tuple[float, float]]] = {}
-    counts: dict[str, float] = {}
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
     n_samples = 0
     for i, line in enumerate(text.splitlines()):
         if not line.strip():
@@ -310,21 +519,27 @@ def validate_prometheus_text(text: str) -> int:
                 family = name[: -len(suffix)]
         if family not in declared:
             raise ValueError(f"line {i}: sample {name!r} has no # TYPE")
+        labels = _parse_labels(match.group("labels") or "", i)
+        group = (
+            family,
+            tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            )),
+        )
         if name.endswith("_bucket") and declared.get(family) == "histogram":
-            labels = match.group("labels") or ""
-            le_match = re.match(r'^le="([^"]+)"$', labels)
-            if le_match is None:
+            le_text = labels.get("le")
+            if le_text is None:
                 raise ValueError(
                     f"line {i}: histogram bucket without an le label"
                 )
-            le_text = le_match.group(1)
             upper = math.inf if le_text == "+Inf" else float(le_text)
-            buckets.setdefault(family, []).append(
+            buckets.setdefault(group, []).append(
                 (upper, float(match.group("value")))
             )
         if name.endswith("_count") and declared.get(family) == "histogram":
-            counts[family] = float(match.group("value"))
-    for family, series in buckets.items():
+            counts[group] = float(match.group("value"))
+    for group, series in buckets.items():
+        family = group[0]
         uppers = [u for u, _ in series]
         values = [v for _, v in series]
         if uppers != sorted(uppers):
@@ -333,9 +548,9 @@ def validate_prometheus_text(text: str) -> int:
             raise ValueError(f"{family}: bucket counts not cumulative")
         if not series or not math.isinf(series[-1][0]):
             raise ValueError(f"{family}: missing le=\"+Inf\" bucket")
-        if family in counts and counts[family] != series[-1][1]:
+        if group in counts and counts[group] != series[-1][1]:
             raise ValueError(
-                f"{family}: _count {counts[family]} disagrees with the "
+                f"{family}: _count {counts[group]} disagrees with the "
                 f"+Inf bucket {series[-1][1]}"
             )
     return n_samples

@@ -1,10 +1,18 @@
 """Trace post-processing: the ``repro trace summarize`` table.
 
 Consumes the Chrome trace-event JSON written by ``repro explain --trace``
-(or any :meth:`~repro.obs.trace.Tracer.to_chrome_trace` payload) and
-renders a per-stage time/percentage table plus the span coverage of the
-end-to-end ``explain`` span — the number the acceptance gate checks
-(spans must account for >=95% of wall time).
+(or any :meth:`~repro.obs.trace.Tracer.to_chrome_trace` /
+:func:`~repro.obs.trace.merge_chrome_trace` payload) and renders a
+per-stage time/percentage table plus the span coverage of the end-to-end
+``explain`` span — the number the acceptance gate checks (spans must
+account for >=95% of wall time).
+
+Merged fleet traces carry one ``pid`` lane per worker process.  Stage
+totals and coverage restrict themselves to the lanes that own an
+``explain`` root (per-process synthetic clocks make cross-lane durations
+incomparable, and a worker lane without a root would silently dilute the
+coverage gate); the table then appends a per-process breakdown of every
+lane's span count and busy seconds.
 """
 
 from __future__ import annotations
@@ -12,7 +20,13 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["load_trace", "stage_totals", "summarize_trace", "trace_coverage"]
+__all__ = [
+    "load_trace",
+    "pid_breakdown",
+    "stage_totals",
+    "summarize_trace",
+    "trace_coverage",
+]
 
 #: Root span name of one full pipeline run.
 ROOT_SPAN = "explain"
@@ -30,6 +44,20 @@ def _events(payload: dict) -> list[dict]:
     return events
 
 
+def _root_pids(events: list[dict]) -> set:
+    """Pids of the lanes that own an ``explain`` root span."""
+    return {e.get("pid", 1) for e in events if e.get("name") == ROOT_SPAN}
+
+
+def _scoped_events(payload: dict) -> list[dict]:
+    """Events restricted to lanes with an ``explain`` root (all when none)."""
+    events = _events(payload)
+    pids = _root_pids(events)
+    if not pids:
+        return events
+    return [e for e in events if e.get("pid", 1) in pids]
+
+
 def _is_stage_leaf(name: str) -> bool:
     """Top-level pipeline phases: ``stage.<name>`` (not attempt children)
     plus the trailing ``fidelity`` scoring span."""
@@ -44,10 +72,11 @@ def stage_totals(payload: dict) -> dict[str, dict]:
     """Aggregate per-name totals of the pipeline-phase events.
 
     Returns ``{name: {"count": int, "seconds": float}}`` over the
-    ``stage.*`` spans and ``fidelity``, in first-appearance order.
+    ``stage.*`` spans and ``fidelity``, in first-appearance order —
+    scoped to the process lanes that own an ``explain`` root.
     """
     totals: dict[str, dict] = {}
-    for event in _events(payload):
+    for event in _scoped_events(payload):
         name = event.get("name", "")
         if not _is_stage_leaf(name):
             continue
@@ -61,7 +90,9 @@ def trace_coverage(payload: dict) -> float:
     """Fraction of the ``explain`` span covered by its pipeline phases.
 
     1.0 means every end-to-end second is attributed to a named stage;
-    returns 0.0 when the trace has no ``explain`` root span.
+    returns 0.0 when the trace has no ``explain`` root span.  Only the
+    lanes owning a root participate, so merging extra worker lanes into
+    a trace cannot dilute the >=95% gate.
     """
     root = [
         e for e in _events(payload) if e.get("name") == ROOT_SPAN
@@ -75,13 +106,44 @@ def trace_coverage(payload: dict) -> float:
     return min(covered / total, 1.0)
 
 
+def pid_breakdown(payload: dict) -> dict[int, dict]:
+    """Per-process lane totals of a (possibly merged) trace.
+
+    Returns ``{pid: {"spans": int, "busy_s": float, "roots": int}}``
+    sorted by pid.  ``busy_s`` sums only each lane's *root* spans —
+    events whose ``parent_id`` is absent from the lane — so nested spans
+    are not double counted.
+    """
+    lanes: dict[int, list[dict]] = {}
+    for event in _events(payload):
+        lanes.setdefault(event.get("pid", 1), []).append(event)
+    breakdown: dict[int, dict] = {}
+    for pid in sorted(lanes):
+        events = lanes[pid]
+        span_ids = {
+            e.get("args", {}).get("span_id") for e in events
+        }
+        busy = 0.0
+        for event in events:
+            parent = event.get("args", {}).get("parent_id")
+            if parent is None or parent not in span_ids:
+                busy += float(event.get("dur", 0.0)) / 1e6
+        breakdown[pid] = {
+            "spans": len(events),
+            "busy_s": busy,
+            "roots": sum(1 for e in events if e.get("name") == ROOT_SPAN),
+        }
+    return breakdown
+
+
 def summarize_trace(payload: dict) -> str:
     """Render the per-stage time/percentage table of one trace.
 
     The table lists every pipeline phase with its span count, total
     seconds and share of the end-to-end ``explain`` time, followed by the
-    coverage line and (when the trace embeds a metrics snapshot under
-    ``otherData``) the non-zero counters.
+    coverage line, a per-process breakdown when the trace carries more
+    than one ``pid`` lane (merged fleet traces), and (when the trace
+    embeds a metrics snapshot under ``otherData``) the non-zero counters.
     """
     events = _events(payload)
     root = [e for e in events if e.get("name") == ROOT_SPAN]
@@ -109,6 +171,17 @@ def summarize_trace(payload: dict) -> str:
         f"span coverage of end-to-end wall time: {coverage * 100.0:.1f}% "
         f"({len(events)} spans total)"
     )
+
+    breakdown = pid_breakdown(payload)
+    if len(breakdown) > 1:
+        lines.append("")
+        lines.append("per-process lanes:")
+        lines.append(f"  {'pid':<8}{'spans':>7}{'busy_s':>12}{'roots':>7}")
+        for pid, lane in breakdown.items():
+            lines.append(
+                f"  {pid:<8}{lane['spans']:>7}{lane['busy_s']:>12.4f}"
+                f"{lane['roots']:>7}"
+            )
 
     counters = (
         payload.get("otherData", {}).get("metrics", {}).get("counters", {})

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from .profile import notify_span_end, notify_span_start
@@ -46,9 +47,11 @@ __all__ = [
     "Span",
     "Tracer",
     "advance",
+    "current_context",
     "disable_tracing",
     "enable_tracing",
     "get_tracer",
+    "merge_chrome_trace",
     "monotonic",
     "span",
     "validate_chrome_trace",
@@ -113,11 +116,17 @@ class Span:
     ``attrs`` carries arbitrary JSON-serializable key/values set at open
     time or later via :meth:`set`.  ``parent_id`` links the trace tree;
     ``None`` marks a root span (or the first span opened on a worker
-    thread).  ``end_s`` is ``None`` while the span is still open.
+    thread).  ``trace_id`` names the end-to-end request the span belongs
+    to: locally started roots use their own ``span_id``, children inherit
+    their parent's, and spans opened under a propagated cross-process
+    context (:meth:`Tracer.trace_context`) carry the originating
+    front-end request's id — which is how worker-side spans stitch back
+    into one fleet-wide trace.  ``end_s`` is ``None`` while still open.
     """
 
     __slots__ = (
-        "name", "span_id", "parent_id", "start_s", "end_s", "attrs", "thread_id",
+        "name", "span_id", "parent_id", "start_s", "end_s", "attrs",
+        "thread_id", "trace_id",
     )
 
     def __init__(
@@ -128,6 +137,7 @@ class Span:
         start_s: float,
         thread_id: int,
         attrs: dict | None = None,
+        trace_id: int | None = None,
     ):
         self.name = name
         self.span_id = span_id
@@ -135,6 +145,7 @@ class Span:
         self.start_s = start_s
         self.end_s: float | None = None
         self.thread_id = thread_id
+        self.trace_id = span_id if trace_id is None else trace_id
         self.attrs = dict(attrs) if attrs else {}
 
     def set(self, **attrs) -> "Span":
@@ -155,6 +166,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "start_s": self.start_s,
             "end_s": self.end_s,
             "duration_s": self.duration_s,
@@ -192,16 +204,19 @@ class Tracer:
     """Collects spans into an in-memory trace; one per :func:`enable_tracing`.
 
     ``clock`` defaults to the pipeline clock (:func:`monotonic`); tests
-    may inject a deterministic callable.  All mutation of the finished
-    list and the id counter happens under an internal lock; the per-thread
-    open-span stack lives in a ``threading.local`` and needs none.
+    may inject a deterministic callable.  ``span_id_base`` offsets the id
+    counter — fleet workers pass a pid-derived base so span ids stay
+    unique after their buffers are merged into one cross-process trace.
+    All mutation of the finished list and the id counter happens under an
+    internal lock; the per-thread open-span stack and the propagated
+    trace context live in a ``threading.local`` and need none.
     """
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, span_id_base: int = 0):
         self._clock = monotonic if clock is None else clock
         self._lock = threading.Lock()
         self._finished: list[Span] = []
-        self._next_id = 1
+        self._next_id = int(span_id_base) + 1
         self._local = threading.local()
         self.epoch_s = float(self._clock())
 
@@ -213,10 +228,31 @@ class Tracer:
             self._local.stack = stack
         return stack
 
+    @contextmanager
+    def trace_context(self, trace_id: int, parent_span_id: int):
+        """Adopt a propagated cross-process trace context on this thread.
+
+        While active, root spans opened on the thread (an empty stack)
+        become children of ``parent_span_id`` and carry ``trace_id``
+        instead of minting their own — the worker-side half of fleet
+        trace propagation.  Contexts nest and restore on exit.
+        """
+        previous = getattr(self._local, "ctx", None)
+        self._local.ctx = (int(trace_id), int(parent_span_id))
+        try:
+            yield
+        finally:
+            self._local.ctx = previous
+
     def start(self, name: str, **attrs) -> Span:
         """Open a span named ``name``; it becomes the thread's current span."""
         stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
+        if stack:
+            parent_id = stack[-1].span_id
+            trace_id = stack[-1].trace_id
+        else:
+            ctx = getattr(self._local, "ctx", None)
+            trace_id, parent_id = ctx if ctx is not None else (None, None)
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
@@ -227,6 +263,7 @@ class Tracer:
             float(self._clock()),
             threading.get_ident(),
             attrs,
+            trace_id=trace_id,
         )
         stack.append(sp)
         notify_span_start(sp)
@@ -263,6 +300,18 @@ class Tracer:
         with self._lock:
             return list(self._finished)
 
+    def drain(self) -> list[dict]:
+        """Atomically remove and return the finished spans as dicts.
+
+        The fleet worker's export path: each heartbeat (or explicit
+        ``obs-pull``) ships the spans finished since the previous drain,
+        so a span crosses the pipe exactly once and the per-process
+        buffer stays bounded under sustained traffic.
+        """
+        with self._lock:
+            finished, self._finished = self._finished, []
+        return [s.to_dict() for s in finished]
+
     def find(self, name: str) -> list[Span]:
         """All finished spans named ``name``."""
         return [s for s in self.spans() if s.name == name]
@@ -274,34 +323,21 @@ class Tracer:
             "spans": [s.to_dict() for s in self.spans()],
         }
 
-    def to_chrome_trace(self, extra: dict | None = None) -> dict:
+    def to_chrome_trace(self, extra: dict | None = None, pid: int = 1) -> dict:
         """The trace in Chrome trace-event format (Perfetto-loadable).
 
         Every finished span becomes one complete ("ph": "X") event with
         microsecond ``ts``/``dur`` relative to the tracer's epoch.  Span
-        attributes, ids and parent ids ride along in ``args``.  ``extra``
-        (e.g. a metrics snapshot) is embedded under ``otherData``, which
-        viewers ignore but :func:`repro.obs.summary.summarize_trace`
-        reads back.
+        attributes, ids and parent ids ride along in ``args``.  ``pid``
+        labels the process lane (the fleet front end merges one lane per
+        worker pid).  ``extra`` (e.g. a metrics snapshot) is embedded
+        under ``otherData``, which viewers ignore but
+        :func:`repro.obs.summary.summarize_trace` reads back.
         """
-        events = []
-        for s in self.spans():
-            events.append(
-                {
-                    "name": s.name,
-                    "ph": "X",
-                    "cat": "gef",
-                    "ts": round((s.start_s - self.epoch_s) * 1e6, 3),
-                    "dur": round(s.duration_s * 1e6, 3),
-                    "pid": 1,
-                    "tid": s.thread_id,
-                    "args": {
-                        "span_id": s.span_id,
-                        "parent_id": s.parent_id,
-                        **s.attrs,
-                    },
-                }
-            )
+        events = [
+            _chrome_event(s.to_dict(), epoch_s=self.epoch_s, pid=pid)
+            for s in self.spans()
+        ]
         payload = {"traceEvents": events, "displayTimeUnit": "ms"}
         if extra:
             payload["otherData"] = dict(extra)
@@ -314,14 +350,16 @@ class Tracer:
         )
 
 
-def enable_tracing(clock=None) -> Tracer:
+def enable_tracing(clock=None, span_id_base: int = 0) -> Tracer:
     """Install (and return) a fresh process-wide :class:`Tracer`.
 
     Replaces any previously installed tracer.  Pass a ``clock`` callable
-    for deterministic tests; the default is the pipeline clock.
+    for deterministic tests; the default is the pipeline clock.  Fleet
+    workers pass a pid-derived ``span_id_base`` so ids from different
+    processes never collide in a merged trace.
     """
     global _tracer
-    tracer = Tracer(clock=clock)
+    tracer = Tracer(clock=clock, span_id_base=span_id_base)
     with _state_lock:
         _tracer = tracer
     return tracer
@@ -352,6 +390,75 @@ def span(name: str, **attrs):
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, **attrs)
+
+
+def current_context() -> dict | None:
+    """The calling thread's innermost open span as a propagation context.
+
+    Returns ``{"trace_id": ..., "parent_span_id": ...}`` ready to ship
+    across a process boundary (the fleet dispatcher attaches it to every
+    ``req`` message), or ``None`` when tracing is off or no span is open
+    — the receiving worker then records detached spans as today.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return None
+    stack = getattr(tracer._local, "stack", None)
+    if not stack:
+        return None
+    top = stack[-1]
+    return {"trace_id": top.trace_id, "parent_span_id": top.span_id}
+
+
+def _chrome_event(span_dict: dict, *, epoch_s: float, pid: int) -> dict:
+    """One complete ("X") trace event from a span's dict form.
+
+    ``ts`` is clamped at 0: per-process epochs are captured at tracer
+    construction, before any span can start, so the clamp only absorbs
+    float rounding — the validator's non-negativity contract holds for
+    every merged lane.
+    """
+    start = float(span_dict["start_s"])
+    duration = span_dict.get("duration_s")
+    return {
+        "name": span_dict["name"],
+        "ph": "X",
+        "cat": "gef",
+        "ts": round(max(0.0, start - epoch_s) * 1e6, 3),
+        "dur": round(float(duration or 0.0) * 1e6, 3),
+        "pid": int(pid),
+        "tid": span_dict["thread_id"],
+        "args": {
+            "span_id": span_dict["span_id"],
+            "parent_id": span_dict["parent_id"],
+            "trace_id": span_dict.get("trace_id"),
+            **span_dict.get("attrs", {}),
+        },
+    }
+
+
+def merge_chrome_trace(processes, extra: dict | None = None) -> dict:
+    """Merge per-process span buffers into one valid Chrome trace.
+
+    ``processes`` is an iterable of ``{"pid": int, "epoch_s": float,
+    "spans": [span dicts]}`` — the front end's own lane plus the buffers
+    shipped back by fleet workers.  Each lane's timestamps are relative
+    to its *own* tracer epoch (per-process synthetic clock offsets make
+    absolute readings incomparable across the fleet; per-lane epochs keep
+    every ``ts`` non-negative and every duration exact).  The result
+    passes :func:`validate_chrome_trace` and renders one ``pid`` row per
+    process in Perfetto.
+    """
+    events = []
+    for process in sorted(processes, key=lambda p: int(p.get("pid", 1))):
+        pid = int(process.get("pid", 1))
+        epoch_s = float(process.get("epoch_s", 0.0))
+        for span_dict in process.get("spans", ()):
+            events.append(_chrome_event(span_dict, epoch_s=epoch_s, pid=pid))
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if extra:
+        payload["otherData"] = dict(extra)
+    return payload
 
 
 #: Keys required of every complete event in a Chrome trace export.

@@ -51,11 +51,14 @@ from ..core.errors import (
     StageTimeoutError,
     WorkerCrashError,
 )
+from ..obs.drift import DriftMonitor
 from ..obs.metrics import (
+    get_metrics,
     inc as metric_inc,
     observe as metric_observe,
     to_prometheus,
 )
+from ..obs.slo import SloConfig, SloEngine, quantile_from_histogram
 from ..obs.trace import monotonic, span as obs_span
 from .admission import AdmissionController, Deadline
 from .batcher import MicroBatcher
@@ -132,6 +135,9 @@ class ServeConfig:
     request_timeout_s: float | None = 30.0
     surrogate_capacity: int = 4
     gef: GEFConfig = field(default_factory=GEFConfig)
+    #: Enables the SLO engine + fidelity drift monitor when set (see
+    #: :func:`repro.obs.slo.default_slo_config`).
+    slo: SloConfig | None = None
 
 
 class ServeApp:
@@ -148,6 +154,20 @@ class ServeApp:
         self._batchers: dict[str, MicroBatcher] = {}
         self._started_s = monotonic()
         self._closed = False
+        if self.config.slo is not None:
+            self.slo: SloEngine | None = SloEngine(self.config.slo)
+            self.drift: DriftMonitor | None = DriftMonitor(
+                capacity=self.config.slo.drift_capacity,
+                seed=self.config.slo.drift_seed,
+                min_samples=self.config.slo.drift_min_samples,
+            )
+        else:
+            self.slo = None
+            self.drift = None
+        self._slo_lock = threading.Lock()
+        # (serve.requests, serve.errors) at the previous SLO tick: the
+        # error budget is evaluated over per-tick deltas, not lifetime.
+        self._slo_prev = (0.0, 0.0)
 
     # ------------------------------------------------------------------
     # model lifecycle
@@ -190,6 +210,8 @@ class ServeApp:
             batcher = self._batchers.pop(model_id, None)
         if batcher is not None:
             batcher.stop(drain=True)
+        if self.drift is not None:
+            self.drift.forget(model_id)
         return entry
 
     def batcher_for(self, model_id: str) -> MicroBatcher:
@@ -296,6 +318,8 @@ class ServeApp:
                     500, {"error": str(exc), "kind": "internal"}
                 )
             sp.set(status=response.status)
+        if response.status >= 500:
+            metric_inc("serve.errors")
         metric_observe("serve.latency_s", deadline.elapsed())
         return response
 
@@ -320,7 +344,7 @@ class ServeApp:
         if method == "GET" and path == "/healthz":
             return self._healthz()
         if method == "GET" and path == "/metrics":
-            return Response(200, to_prometheus().encode("utf-8"), _PROM)
+            return Response(200, self._metrics_text().encode("utf-8"), _PROM)
         if endpoint == "unknown":
             return _json_response(
                 404, {"error": f"no endpoint {method} {path}", "kind": "route"}
@@ -345,6 +369,10 @@ class ServeApp:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
+    def _metrics_text(self) -> str:
+        """The ``/metrics`` body; :class:`FleetApp` appends fleet series."""
+        return to_prometheus()
+
     def _healthz(self) -> Response:
         models = {
             entry.model_id: {
@@ -354,15 +382,17 @@ class ServeApp:
             }
             for entry in self.registry.entries()
         }
-        return _json_response(
-            200,
-            {
-                "status": "draining" if self._closed else "ok",
-                "uptime_s": monotonic() - self._started_s,
-                "inflight": self.admission.inflight,
-                "models": models,
-            },
-        )
+        payload = {
+            "status": "draining" if self._closed else "ok",
+            "uptime_s": monotonic() - self._started_s,
+            "inflight": self.admission.inflight,
+            "models": models,
+        }
+        if self.slo is not None:
+            slo_block = self.slo.view()
+            slo_block["drift"] = self.drift.last()
+            payload["slo"] = slo_block
+        return _json_response(200, payload)
 
     def _predict(self, body, deadline: Deadline) -> Response:
         payload = self._parse_json(body)
@@ -372,6 +402,8 @@ class ServeApp:
         scores = self.batcher_for(entry.model_id).submit(
             X, timeout_s=deadline.remaining()
         )
+        if self.drift is not None:
+            self.drift.observe(entry.model_id, X.tolist(), scores.tolist())
         return _json_response(
             200,
             {
@@ -386,6 +418,67 @@ class ServeApp:
         return self.surrogates.explanation_for(
             entry.model, entry.fingerprint, timeout_s=deadline.remaining()
         )
+
+    # ------------------------------------------------------------------
+    # SLO engine + fidelity drift (config.slo)
+    # ------------------------------------------------------------------
+    def surrogate_replay(self, model_id: str, rows: list) -> list | None:
+        """Replay ``rows`` through the *cached* surrogate of ``model_id``.
+
+        The drift monitor's ``predict_for`` callable: returns plain-float
+        predictions, or ``None`` when the model is gone or its surrogate
+        is not cached — it must never trigger a fit (a background monitor
+        kicking off a multi-second GAM fit would be a self-inflicted
+        latency incident).
+        """
+        try:
+            entry = self.registry.get(str(model_id))
+        except ModelNotFoundError:
+            return None
+        explanation = self.surrogates.peek(entry.fingerprint)
+        if explanation is None:
+            return None
+        X = np.asarray(rows, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            return None
+        mu = explanation.predict(X)
+        return np.asarray(mu, dtype=np.float64).ravel().tolist()
+
+    def slo_tick(self) -> str | None:
+        """Run one SLO evaluation; returns the overall state (or None).
+
+        Gathers the three stock signals — rolling forest–GAM fidelity
+        from the drift monitor, p99 latency from the ``serve.latency_s``
+        histogram (bucket-upper-bound estimate), and the error rate over
+        the requests/errors counter deltas since the previous tick — and
+        feeds them to the engine.  Driven by the CLI's SLO thread on a
+        wall interval, or explicitly by tests on the synthetic clock.
+        """
+        if self.slo is None:
+            return None
+        drift = self.drift.evaluate(self.surrogate_replay)
+        values: dict[str, float | None] = {
+            "fidelity": drift["fidelity"],
+            "p99_latency_s": None,
+            "error_rate": None,
+        }
+        registry = get_metrics()
+        snapshot = registry.snapshot() if registry is not None else None
+        if snapshot is not None:
+            hist = snapshot["histograms"].get("serve.latency_s")
+            if hist:
+                values["p99_latency_s"] = quantile_from_histogram(hist, 0.99)
+            requests = float(snapshot["counters"].get("serve.requests", 0.0))
+            errors = float(snapshot["counters"].get("serve.errors", 0.0))
+            with self._slo_lock:
+                prev_requests, prev_errors = self._slo_prev
+                self._slo_prev = (requests, errors)
+            delta_requests = requests - prev_requests
+            if delta_requests > 0:
+                values["error_rate"] = (
+                    max(0.0, errors - prev_errors) / delta_requests
+                )
+        return self.slo.evaluate(values)
 
     def _gam_predict(self, body, deadline: Deadline) -> Response:
         payload = self._parse_json(body)

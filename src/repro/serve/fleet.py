@@ -47,7 +47,9 @@ from ..core.errors import (
     StageTimeoutError,
     WorkerCrashError,
 )
+from ..obs.metrics import MetricsAggregator, fleet_to_prometheus
 from ..obs.metrics import inc as metric_inc
+from ..obs.trace import current_context, get_tracer, merge_chrome_trace
 from .admission import Deadline
 from .app import Response, ServeApp, ServeConfig, _json_response
 from .registry import ModelEntry
@@ -232,11 +234,21 @@ class _WorkerHandle:
                     pending.outcome = "ok"
                     pending.event.set()
             elif kind == "pong":
+                # A healthy pong carries a piggybacked observability
+                # payload; the corrupt-heartbeat chaos form stays a bare
+                # 2-tuple and is handled by the supervisor alone.
+                if len(message) > 2 and message[2]:
+                    fleet.ingest_obs(self.name, message[2])
                 fleet.supervisor.on_pong(self.name, message[1])
             elif kind == "ready":
                 self.pid = int(message[1])
                 fleet.supervisor.on_ready(self.name, message[1])
                 self.ready_event.set()
+            elif kind == "obs":
+                # Ingest before waking the waiter: sync_obs must see the
+                # aggregated state the moment await_ack returns.
+                fleet.ingest_obs(self.name, message[2])
+                self._ack(("obs", message[1]))
             elif kind in ("loaded", "unloaded"):
                 self._ack((kind, message[1]))
             elif kind == "chaos-ack":
@@ -296,6 +308,9 @@ class Fleet:
         self._ring = HashRing(self._names, vnodes=self.config.vnodes)
         self._loop_stop = threading.Event()
         self._loop_thread: threading.Thread | None = None
+        self.aggregator = MetricsAggregator()
+        self._obs_lock = threading.Lock()
+        self._span_lanes: dict[int, dict] = {}
         self.supervisor = Supervisor(
             self,
             miss_threshold=self.config.miss_threshold,
@@ -316,6 +331,10 @@ class Fleet:
             queue_limit=cfg.queue_limit,
             max_inflight=cfg.max_inflight,
             threads=self.config.worker_threads,
+            # Workers mirror the front end's tracing state at spawn time
+            # (including supervisor respawns, so a restarted worker keeps
+            # contributing spans to the merged trace).
+            trace=get_tracer() is not None,
         )
 
     def _spawn(self, name: str) -> _WorkerHandle:
@@ -554,7 +573,8 @@ class Fleet:
             tried.add(handle.name)
             rid = next(self._rid)
             pending = _Pending()
-            if not handle.submit(rid, ("req", rid, method, path, body), pending):
+            message = ("req", rid, method, path, body, current_context())
+            if not handle.submit(rid, message, pending):
                 continue
             dispatched = True
             metric_inc("fleet.dispatched")
@@ -628,6 +648,79 @@ class Fleet:
         )
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def ingest_obs(self, name: str, payload: dict) -> None:
+        """Fold one worker observability payload into the fleet state.
+
+        Metrics snapshots delta-merge through the aggregator (restart
+        resets detected by pid change and counter regression); drained
+        spans accumulate into per-pid lanes for :meth:`merged_trace`.
+        Called from the reader threads on every pong and obs answer.
+        """
+        pid = int(payload.get("pid", 0))
+        metrics = payload.get("metrics") or {}
+        if metrics:
+            self.aggregator.ingest(name, pid, metrics)
+        spans = payload.get("spans")
+        if spans:
+            epoch_s = float(payload.get("epoch_s", 0.0))
+            with self._obs_lock:
+                lane = self._span_lanes.setdefault(
+                    pid, {"pid": pid, "epoch_s": epoch_s, "spans": []}
+                )
+                lane["epoch_s"] = epoch_s
+                lane["spans"].extend(spans)
+
+    def sync_obs(self, timeout_s: float | None = None) -> int:
+        """Pull a fresh observability payload from every live worker.
+
+        Heartbeats already stream payloads continuously; this forces a
+        synchronous round so ``/metrics`` scrapes and trace exports see
+        up-to-the-call worker state.  Returns the number of workers that
+        answered; dead or booting workers are skipped (their last
+        heartbeat payload is already merged).
+        """
+        timeout = (
+            timeout_s if timeout_s is not None else self.config.ack_timeout_s
+        )
+        with self._lock:
+            handles = list(self._handles.values())
+        answered = 0
+        for handle in handles:
+            if not (handle.alive and handle.ready_event.is_set()):
+                continue
+            token = next(self._rid)
+            if handle.await_ack(("obs", token), ("obs-pull", token), timeout):
+                answered += 1
+        return answered
+
+    def merged_trace(self, extra: dict | None = None) -> dict:
+        """One Chrome trace with a ``pid`` lane per fleet process.
+
+        Lane 1 is the front end's own tracer (when tracing is enabled);
+        worker lanes are whatever spans their payloads have shipped so
+        far — call :meth:`sync_obs` first for an up-to-date export.
+        """
+        lanes = []
+        tracer = get_tracer()
+        if tracer is not None:
+            front = tracer.to_dict()
+            front["pid"] = 1
+            lanes.append(front)
+        with self._obs_lock:
+            for pid in sorted(self._span_lanes):
+                lane = self._span_lanes[pid]
+                lanes.append(
+                    {
+                        "pid": pid,
+                        "epoch_s": lane["epoch_s"],
+                        "spans": list(lane["spans"]),
+                    }
+                )
+        return merge_chrome_trace(lanes, extra=extra)
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def view(self) -> dict:
@@ -686,9 +779,19 @@ class FleetApp(ServeApp):
             payload = self._parse_json(body)
             entry = self._entry_for(payload)
             try:
-                return self.fleet.dispatch(
+                response = self.fleet.dispatch(
                     entry.model_id, "POST", "/predict", body, deadline
                 )
+                if self.drift is not None and response.status == 200:
+                    # Fleet predicts compute on a worker; feed the drift
+                    # reservoir from the returned scores so the fidelity
+                    # SLO sees the same traffic either way.
+                    self.drift.observe(
+                        entry.model_id,
+                        self._rows_for(payload, entry).tolist(),
+                        response.json().get("predictions", []),
+                    )
+                return response
             except (WorkerCrashError, FleetDegradedError, ModelNotFoundError):
                 # Zero-lost guarantee: the front end holds the same
                 # engines, so a request that outlived every replica is
@@ -697,6 +800,17 @@ class FleetApp(ServeApp):
         else:
             metric_inc("fleet.local_fallback")
         return super()._predict(body, deadline)
+
+    def _metrics_text(self) -> str:
+        """Local exposition plus the fleet-aggregated series.
+
+        Pulls a fresh payload from every live worker first, so a scrape
+        observes counters at least as new as any response it has seen.
+        """
+        self.fleet.sync_obs()
+        return super()._metrics_text() + fleet_to_prometheus(
+            self.fleet.aggregator
+        )
 
     def _healthz(self) -> Response:
         base = super()._healthz()

@@ -71,6 +71,7 @@ class WorkerRecord:
         "pong_seq",
         "last_pong_s",
         "restart_at_s",
+        "up_since_s",
     )
 
     def __init__(self, name: str):
@@ -83,8 +84,9 @@ class WorkerRecord:
         self.pong_seq = 0
         self.last_pong_s: float | None = None
         self.restart_at_s: float | None = None
+        self.up_since_s: float | None = None
 
-    def view(self) -> dict:
+    def view(self, now: float) -> dict:
         """JSON-safe snapshot for ``/healthz``."""
         return {
             "state": self.state,
@@ -92,6 +94,11 @@ class WorkerRecord:
             "restarts": self.restarts,
             "missed_heartbeats": self.misses,
             "last_pong_s": self.last_pong_s,
+            "uptime_s": (
+                now - self.up_since_s
+                if self.state == STATE_UP and self.up_since_s is not None
+                else None
+            ),
         }
 
 
@@ -150,6 +157,7 @@ class Supervisor:
             record.misses = 0
             record.ping_seq = record.pong_seq = self._seq
             record.restart_at_s = None
+            record.up_since_s = monotonic()
             self._note_locked(name, old, STATE_UP, "ready")
         self._evaluate_quorum()
 
@@ -174,6 +182,7 @@ class Supervisor:
                 return
             self._note_locked(name, record.state, STATE_STOPPED, "stopped")
             record.state = STATE_STOPPED
+            record.up_since_s = None
 
     # ------------------------------------------------------------------
     # the supervision tick
@@ -257,6 +266,7 @@ class Supervisor:
             old = record.state
             record.restarts += 1
             record.pid = None
+            record.up_since_s = None
             if record.restarts > self._max_restarts:
                 record.state = STATE_FAILED
                 self._note_locked(
@@ -344,15 +354,27 @@ class Supervisor:
             return [dict(t) for t in self._transitions]
 
     def view(self) -> dict:
-        """JSON-safe supervision snapshot for ``/healthz``."""
+        """JSON-safe supervision snapshot for ``/healthz``.
+
+        Each worker entry carries its live uptime, restart count and the
+        slice of the bounded transition log that concerns it, so an
+        operator can read one slot's crash history without correlating
+        the fleet-wide log by hand.
+        """
+        now = monotonic()
         with self._lock:
+            workers = {}
+            for name, record in sorted(self._records.items()):
+                entry = record.view(now)
+                entry["transitions"] = [
+                    dict(t) for t in self._transitions
+                    if t["worker"] == name
+                ]
+                workers[name] = entry
             return {
                 "state": self._fleet_state,
                 "quorum": self._quorum,
-                "workers": {
-                    name: record.view()
-                    for name, record in sorted(self._records.items())
-                },
+                "workers": workers,
                 "transitions": [dict(t) for t in self._transitions],
             }
 

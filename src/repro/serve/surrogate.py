@@ -82,6 +82,16 @@ class SurrogateCache:
         with self._lock:
             return fingerprint in self._entries
 
+    def peek(self, fingerprint: int):
+        """The cached explanation, or ``None`` — never fits, no LRU touch.
+
+        The drift monitor's accessor: a background fidelity check must
+        not promote an entry over live traffic's recency order, and must
+        never be the thing that kicks off a multi-second fit.
+        """
+        with self._lock:
+            return self._entries.get(fingerprint)
+
     # ------------------------------------------------------------------
     # the cache protocol
     # ------------------------------------------------------------------

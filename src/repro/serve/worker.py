@@ -9,10 +9,12 @@ tuples, first element the message kind:
 
 Front end -> worker::
 
-    ("req", rid, method, path, body)   serve one request
+    ("req", rid, method, path, body, ctx)  serve one request (ctx = trace
+                                           context dict or None)
     ("ping", seq)                      heartbeat probe (answer with pong)
     ("load", bundle)                   attach + install a SharedModelBundle
     ("unload", model_id)               remove a model
+    ("obs-pull", token)                request a fresh observability payload
     ("chaos", flag, value)             fault-injection switch (acked)
     ("stop", drain)                    drain (or abort) and exit
 
@@ -20,10 +22,21 @@ Worker -> front end::
 
     ("ready", pid, model_ids)          boot finished, models installed
     ("res", rid, status, body, ctype)  one finished response
-    ("pong", seq)                      heartbeat answer
+    ("pong", seq, obs)                 heartbeat answer + piggybacked
+                                       observability payload
     ("loaded"|"unloaded", model_id)    model lifecycle ack
+    ("obs", token, obs)                answer to an obs-pull
     ("chaos-ack", flag, value)         fault switch applied
     ("stopped",)                       clean exit imminent
+
+The observability payload carries the worker pid, a monotonic metrics
+snapshot (the front end delta-merges these into fleet totals, so a
+restart's counter reset is detected rather than double counted), and —
+when tracing is on — the tracer epoch plus the finished spans drained
+since the previous payload.  Workers run their spans under a per-pid
+``span_id_base`` so ids stay globally unique in the merged trace, and
+``("req", ...)`` carries the front end's trace context so worker spans
+join the originating request's trace tree.
 
 Requests run on a small thread pool so the receive loop stays responsive
 — a worker saturated with slow predicts still answers heartbeats, which
@@ -42,6 +55,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..core.errors import ServeError
+from ..obs.metrics import enable_metrics, get_metrics
+from ..obs.trace import enable_tracing, get_tracer
 from .app import ServeApp, ServeConfig
 from .registry import ModelEntry
 from .shm import SharedModelBundle, attach_model_engines
@@ -58,6 +73,7 @@ class WorkerOptions:
     queue_limit: int = 256
     max_inflight: int = 1024
     threads: int = 4
+    trace: bool = False
 
 
 class _SharedForestStub:
@@ -131,6 +147,13 @@ class _WorkerRuntime:
             max_workers=max(1, int(options.threads)),
             thread_name_prefix=f"repro-fleet-{name}",
         )
+        # Metrics are always on in a worker: the snapshot is its only
+        # path back to the front end's fleet aggregation.  Tracing is
+        # opt-in (mirrors the front end); the per-pid span_id_base keeps
+        # span ids globally unique in the merged multi-process trace.
+        enable_metrics()
+        if options.trace:
+            enable_tracing(span_id_base=os.getpid() * 1_000_000)
         for bundle in bundles:
             self._install(bundle)
 
@@ -142,8 +165,15 @@ class _WorkerRuntime:
         with self._send_lock:
             self._conn.send(message)
 
-    def _serve_one(self, rid, method, path, body) -> None:
-        response = self._app.handle(method, path, body)
+    def _serve_one(self, rid, method, path, body, ctx=None) -> None:
+        tracer = get_tracer()
+        if tracer is not None and ctx is not None:
+            with tracer.trace_context(
+                ctx["trace_id"], ctx["parent_span_id"]
+            ):
+                response = self._app.handle(method, path, body)
+        else:
+            response = self._app.handle(method, path, body)
         try:
             self._send(("res", rid, response.status, response.body,
                         response.content_type))
@@ -152,13 +182,26 @@ class _WorkerRuntime:
             # restarted front end simply re-dispatches.
             pass
 
+    def _obs_payload(self) -> dict:
+        """The worker's shippable observability state (see module doc)."""
+        registry = get_metrics()
+        tracer = get_tracer()
+        payload = {
+            "pid": os.getpid(),
+            "metrics": registry.snapshot() if registry is not None else {},
+        }
+        if tracer is not None:
+            payload["epoch_s"] = tracer.epoch_s
+            payload["spans"] = tracer.drain()
+        return payload
+
     def _on_ping(self, seq) -> None:
         if self._chaos["mute_pings"]:
             return
         if self._chaos["corrupt_pings"]:
             self._send(("pong", None))
             return
-        self._send(("pong", seq))
+        self._send(("pong", seq, self._obs_payload()))
 
     def run(self) -> None:
         """Answer messages until ``stop`` or the pipe closes."""
@@ -172,10 +215,14 @@ class _WorkerRuntime:
                 break
             kind = message[0]
             if kind == "req":
-                _, rid, method, path, body = message
-                self._pool.submit(self._serve_one, rid, method, path, body)
+                _, rid, method, path, body, ctx = message
+                self._pool.submit(
+                    self._serve_one, rid, method, path, body, ctx
+                )
             elif kind == "ping":
                 self._on_ping(message[1])
+            elif kind == "obs-pull":
+                self._send(("obs", message[1], self._obs_payload()))
             elif kind == "load":
                 self._install(message[1])
                 self._send(("loaded", message[1].model_id))

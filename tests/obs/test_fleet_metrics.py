@@ -1,0 +1,270 @@
+"""Fleet metrics aggregation: delta merge, restarts, Prometheus schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsAggregator,
+    MetricsRegistry,
+    fleet_to_prometheus,
+    to_prometheus,
+    validate_prometheus_text,
+)
+
+
+def _snap(counters=None, gauges=None, histograms=None):
+    return {
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+
+
+def _hist(buckets, total=None, minimum=0.1, maximum=8.0):
+    count = sum(buckets.values())
+    return {
+        "count": count,
+        "sum": total if total is not None else float(count),
+        "min": minimum,
+        "max": maximum,
+        "buckets": dict(buckets),
+    }
+
+
+class TestCounterMerge:
+    def test_successive_snapshots_do_not_double_count(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(counters={"predict.rows": 10.0}))
+        agg.ingest("w0", 100, _snap(counters={"predict.rows": 25.0}))
+        agg.ingest("w0", 100, _snap(counters={"predict.rows": 25.0}))
+        assert agg.fleet_snapshot()["counters"]["predict.rows"] == 25.0
+
+    def test_workers_sum(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(counters={"predict.rows": 10.0}))
+        agg.ingest("w1", 101, _snap(counters={"predict.rows": 7.0}))
+        assert agg.fleet_snapshot()["counters"]["predict.rows"] == 17.0
+        series = agg.worker_series()
+        assert series["w0"]["counters"]["predict.rows"] == 10.0
+        assert series["w1"]["counters"]["predict.rows"] == 7.0
+        assert series["w0"]["pid"] == 100
+
+    def test_pid_change_resets_baseline(self):
+        # The slot's process crashed and was replaced: the new process
+        # reports small absolute values that must ADD to the old total,
+        # not register as a negative delta.
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(counters={"predict.rows": 50.0}))
+        agg.ingest("w0", 200, _snap(counters={"predict.rows": 7.0}))
+        assert agg.fleet_snapshot()["counters"]["predict.rows"] == 57.0
+        assert agg.worker_series()["w0"]["pid"] == 200
+
+    def test_in_process_counter_reset_detected(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(counters={"predict.rows": 50.0}))
+        # Same pid, shrinking value: registry was re-enabled in place.
+        agg.ingest("w0", 100, _snap(counters={"predict.rows": 7.0}))
+        assert agg.fleet_snapshot()["counters"]["predict.rows"] == 57.0
+
+
+class TestGaugeMerge:
+    def test_last_write_wins_per_worker_sum_across_workers(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(gauges={"serve.queue_depth": 3.0}))
+        agg.ingest("w0", 100, _snap(gauges={"serve.queue_depth": 1.0}))
+        agg.ingest("w1", 101, _snap(gauges={"serve.queue_depth": 2.0}))
+        assert agg.fleet_snapshot()["gauges"]["serve.queue_depth"] == 3.0
+        assert agg.worker_series()["w0"]["gauges"]["serve.queue_depth"] == 1.0
+
+
+class TestHistogramMerge:
+    def test_buckets_sum_across_workers(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 3, "2^0": 1}, total=1.3),
+        }))
+        agg.ingest("w1", 101, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 2, "2^2": 1}, total=4.2),
+        }))
+        hist = agg.fleet_snapshot()["histograms"]["serve.latency_s"]
+        assert hist["buckets"] == {"2^-2": 5, "2^0": 1, "2^2": 1}
+        assert hist["count"] == 7
+        assert hist["sum"] == pytest.approx(5.5)
+
+    def test_successive_snapshots_merge_deltas_only(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 3}),
+        }))
+        agg.ingest("w0", 100, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 3, "2^0": 2}),
+        }))
+        hist = agg.fleet_snapshot()["histograms"]["serve.latency_s"]
+        assert hist["buckets"] == {"2^-2": 3, "2^0": 2}
+        assert hist["count"] == 5
+
+    def test_restart_keeps_old_counts_and_adds_new(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 4}),
+        }))
+        agg.ingest("w0", 200, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 1, "2^0": 2}),
+        }))
+        hist = agg.fleet_snapshot()["histograms"]["serve.latency_s"]
+        assert hist["buckets"] == {"2^-2": 5, "2^0": 2}
+        assert hist["count"] == 7
+
+    def test_min_max_are_lifetime_extremes(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(histograms={
+            "h": _hist({"2^0": 1}, minimum=0.5, maximum=1.0),
+        }))
+        agg.ingest("w0", 200, _snap(histograms={
+            "h": _hist({"2^2": 1}, minimum=2.0, maximum=4.0),
+        }))
+        hist = agg.fleet_snapshot()["histograms"]["h"]
+        assert hist["min"] == 0.5
+        assert hist["max"] == 4.0
+
+    def test_merged_exposition_keeps_cumulative_le_invariant(self):
+        # Satellite: after N snapshots from several workers AND a
+        # restart, the merged histogram must still render as a valid
+        # cumulative-le Prometheus histogram whose +Inf bucket equals
+        # _count.
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 3, "2^0": 1}),
+        }))
+        agg.ingest("w1", 101, _snap(histograms={
+            "serve.latency_s": _hist({"2^-4": 2, "2^0": 2}),
+        }))
+        agg.ingest("w0", 100, _snap(histograms={
+            "serve.latency_s": _hist({"2^-2": 5, "2^0": 1, "2^4": 1}),
+        }))
+        agg.ingest("w0", 200, _snap(histograms={   # crash + replacement
+            "serve.latency_s": _hist({"2^-2": 1}),
+        }))
+        text = to_prometheus(agg.fleet_snapshot())
+        assert validate_prometheus_text(text) > 0
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("serve_latency_s_bucket")
+        ]
+        values = [float(line.rsplit(" ", 1)[1]) for line in lines]
+        assert values == sorted(values)            # cumulative
+        assert lines[-1].startswith('serve_latency_s_bucket{le="+Inf"}')
+        assert values[-1] == 12.0                  # 4 + 4 + 3 + 1
+
+
+class TestFleetToPrometheus:
+    def _populated(self):
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, _snap(
+            counters={"predict.rows": 10.0},
+            gauges={"serve.queue_depth": 1.0},
+            histograms={"serve.latency_s": _hist({"2^-2": 2})},
+        ))
+        agg.ingest("w1", 101, _snap(
+            counters={"predict.rows": 4.0},
+            gauges={"serve.queue_depth": 0.0},
+        ))
+        return agg
+
+    def test_round_trip_validates(self):
+        text = fleet_to_prometheus(self._populated())
+        assert validate_prometheus_text(text) > 0
+
+    def test_fleet_totals_and_labeled_series(self):
+        text = fleet_to_prometheus(self._populated())
+        assert "fleet_predict_rows_total 14" in text
+        assert 'fleet_worker_predict_rows_total{worker="w0"} 10' in text
+        assert 'fleet_worker_predict_rows_total{worker="w1"} 4' in text
+        assert 'fleet_worker_serve_queue_depth{worker="w0"} 1' in text
+
+    def test_empty_aggregator_renders_nothing(self):
+        assert fleet_to_prometheus(MetricsAggregator()) == ""
+        assert validate_prometheus_text("") == 0
+
+    def test_real_registry_snapshot_survives_aggregation(self):
+        # End to end with a real registry rather than hand-built dicts.
+        registry = MetricsRegistry()
+        registry.inc("predict.rows", 32)
+        for value in (0.01, 0.2, 0.9, 3.0):
+            registry.observe("serve.latency_s", value)
+        agg = MetricsAggregator()
+        agg.ingest("w0", 100, registry.snapshot())
+        registry.inc("predict.rows", 8)
+        registry.observe("serve.latency_s", 0.05)
+        agg.ingest("w0", 100, registry.snapshot())
+        snapshot = agg.fleet_snapshot()
+        assert snapshot["counters"]["predict.rows"] == 40.0
+        assert snapshot["histograms"]["serve.latency_s"]["count"] == 5
+        assert validate_prometheus_text(fleet_to_prometheus(agg)) > 0
+
+
+class TestValidatorRejections:
+    def test_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.25"} 5\n'
+            'h_bucket{le="1.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 2.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_prometheus_text(text)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.25"} 5\n'
+            "h_sum 2.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_prometheus_text(text)
+
+    def test_rejects_count_bucket_disagreement(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 2.0\n"
+            "h_count 6\n"
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            validate_prometheus_text(text)
+
+    def test_rejects_undeclared_family(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            validate_prometheus_text("orphan_total 3\n")
+
+    def test_rejects_malformed_labels(self):
+        text = '# TYPE c_total counter\nc_total{worker=w0} 3\n'
+        with pytest.raises(ValueError, match="malformed"):
+            validate_prometheus_text(text)
+
+    def test_labeled_histogram_series_validate_independently(self):
+        # Two worker label sets interleave; each is cumulative on its
+        # own even though the combined value sequence is not monotone.
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{worker="w0",le="0.25"} 5\n'
+            'h_bucket{worker="w0",le="+Inf"} 6\n'
+            'h_count{worker="w0"} 6\n'
+            'h_bucket{worker="w1",le="0.25"} 1\n'
+            'h_bucket{worker="w1",le="+Inf"} 2\n'
+            'h_count{worker="w1"} 2\n'
+        )
+        assert validate_prometheus_text(text) == 6
+
+    def test_labeled_series_still_checked(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{worker="w0",le="+Inf"} 6\n'
+            'h_count{worker="w0"} 7\n'
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            validate_prometheus_text(text)

@@ -1,0 +1,192 @@
+"""SLO engine: rule levels, hysteresis, transitions, quantiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import enable_metrics, get_metrics
+from repro.obs.slo import (
+    LEVELS,
+    SloConfig,
+    SloEngine,
+    SloRule,
+    default_slo_config,
+    quantile_from_histogram,
+)
+
+
+def _engine(clock, **kwargs):
+    return SloEngine(default_slo_config(**kwargs), clock=lambda: clock[0])
+
+
+class TestSloRule:
+    def test_min_rule_levels(self):
+        rule = SloRule(
+            name="f", metric="fidelity", kind="min", warn=0.9, breach=0.8
+        )
+        assert rule.level(0.95) == "ok"
+        assert rule.level(0.85) == "warn"
+        assert rule.level(0.5) == "breach"
+
+    def test_max_rule_levels(self):
+        rule = SloRule(
+            name="p99", metric="p99_latency_s", kind="max",
+            warn=0.25, breach=1.0,
+        )
+        assert rule.level(0.1) == "ok"
+        assert rule.level(0.5) == "warn"
+        assert rule.level(2.0) == "breach"
+
+    def test_thresholds_are_inclusive_on_the_ok_side(self):
+        rule = SloRule(
+            name="e", metric="error_rate", kind="max", warn=0.01, breach=0.04
+        )
+        assert rule.level(0.01) == "ok"
+        assert rule.level(0.04) == "warn"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="max|min"):
+            SloRule(name="x", metric="m", kind="median", warn=1, breach=2)
+
+    def test_misordered_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="ordered"):
+            SloRule(name="x", metric="m", kind="max", warn=2.0, breach=1.0)
+        with pytest.raises(ValueError, match="ordered"):
+            SloRule(name="x", metric="m", kind="min", warn=0.5, breach=0.9)
+
+    def test_config_recover_after_validated(self):
+        with pytest.raises(ValueError, match="recover_after"):
+            SloConfig(recover_after=0)
+
+
+class TestHysteresis:
+    def test_escalation_is_immediate(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        assert engine.evaluate({"fidelity": 0.95}) == "ok"
+        assert engine.evaluate({"fidelity": 0.85}) == "warn"
+        assert engine.evaluate({"fidelity": 0.5}) == "breach"
+
+    def test_recovery_needs_consecutive_good_evaluations(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        engine.evaluate({"fidelity": 0.5})
+        assert engine.state() == "breach"
+        # recover_after=2: one good tick is not enough
+        assert engine.evaluate({"fidelity": 0.95}) == "breach"
+        assert engine.evaluate({"fidelity": 0.95}) == "ok"
+
+    def test_flapping_resets_the_recovery_streak(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        engine.evaluate({"fidelity": 0.5})
+        engine.evaluate({"fidelity": 0.95})   # streak 1
+        engine.evaluate({"fidelity": 0.5})    # bad again: streak reset
+        assert engine.evaluate({"fidelity": 0.95}) == "breach"
+        assert engine.evaluate({"fidelity": 0.95}) == "ok"
+
+    def test_partial_deescalation_breach_to_warn(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        engine.evaluate({"fidelity": 0.5})
+        engine.evaluate({"fidelity": 0.85})
+        assert engine.evaluate({"fidelity": 0.85}) == "warn"
+        view = engine.view()
+        assert view["transitions"][-1]["reason"] == "de-escalated"
+
+    def test_full_cycle_records_recovered(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        for value in (0.95, 0.85, 0.5, 0.95, 0.95):
+            clock[0] += 5.0
+            engine.evaluate({"fidelity": value})
+        transitions = engine.view()["transitions"]
+        assert [t["to"] for t in transitions] == ["warn", "breach", "ok"]
+        assert transitions[-1]["reason"] == "recovered"
+        # timestamps come from the injected clock, strictly ordered
+        stamps = [t["at_s"] for t in transitions]
+        assert stamps == sorted(stamps)
+
+    def test_missing_value_keeps_state(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        engine.evaluate({"fidelity": 0.5})
+        # None and absent both mean "signal not warmed up": no change,
+        # and crucially no recovery-streak credit either.
+        assert engine.evaluate({"fidelity": None}) == "breach"
+        assert engine.evaluate({}) == "breach"
+        assert engine.evaluate({"fidelity": 0.95}) == "breach"
+        assert engine.evaluate({"fidelity": 0.95}) == "ok"
+
+    def test_overall_state_is_worst_rule(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        state = engine.evaluate(
+            {"fidelity": 0.95, "p99_latency_s": 0.5, "error_rate": 0.0}
+        )
+        assert state == "warn"
+        rules = engine.view()["rules"]
+        assert rules["fidelity_floor"]["level"] == "ok"
+        assert rules["p99_latency"]["level"] == "warn"
+
+
+class TestTransitionLog:
+    def test_log_is_bounded(self):
+        clock = [0.0]
+        config = default_slo_config(transition_log=4, recover_after=1)
+        engine = SloEngine(config, clock=lambda: clock[0])
+        for i in range(20):
+            engine.evaluate({"fidelity": 0.5 if i % 2 else 0.95})
+        assert len(engine.view()["transitions"]) == 4
+
+    def test_reset_clears_everything(self):
+        clock = [0.0]
+        engine = _engine(clock)
+        engine.evaluate({"fidelity": 0.5})
+        engine.reset()
+        view = engine.view()
+        assert view["state"] == "ok"
+        assert view["transitions"] == []
+        assert view["evaluations"] == 0
+
+
+class TestSloMetrics:
+    def test_gauge_and_counters_emitted(self):
+        enable_metrics()
+        clock = [0.0]
+        engine = _engine(clock)
+        engine.evaluate({"fidelity": 0.5})
+        snapshot = get_metrics().snapshot()
+        assert snapshot["gauges"]["slo.level"] == float(LEVELS.index("breach"))
+        assert snapshot["counters"]["slo.evaluations"] == 1
+        assert snapshot["counters"]["slo.transitions.breach"] == 1
+
+
+class TestQuantileFromHistogram:
+    def test_walks_cumulative_buckets(self):
+        hist = {
+            "count": 10,
+            "sum": 5.0,
+            "min": 0.1,
+            "max": 3.0,
+            "buckets": {"<=0": 0, "2^-2": 5, "2^0": 4, "2^2": 1},
+        }
+        assert quantile_from_histogram(hist, 0.5) == 0.25
+        assert quantile_from_histogram(hist, 0.9) == 1.0
+        assert quantile_from_histogram(hist, 0.99) == 4.0
+
+    def test_empty_histogram_is_none(self):
+        assert quantile_from_histogram({"count": 0}, 0.99) is None
+        assert quantile_from_histogram({}, 0.99) is None
+
+    def test_upper_bound_estimate_dominates_true_quantile(self):
+        # The estimate is a bucket upper bound, so it can never
+        # undershoot the true quantile of the recorded samples.
+        hist = {
+            "count": 4,
+            "sum": 2.2,
+            "min": 0.3,
+            "max": 1.0,
+            "buckets": {"2^-1": 2, "2^0": 2},
+        }
+        assert quantile_from_histogram(hist, 0.99) >= 1.0

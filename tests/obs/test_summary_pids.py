@@ -1,0 +1,116 @@
+"""Summary of merged multi-process traces: per-pid lanes, scoped coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.summary import (
+    pid_breakdown,
+    stage_totals,
+    summarize_trace,
+    trace_coverage,
+)
+
+
+def _event(name, pid, ts, dur, span_id, parent_id=None, trace_id=None):
+    return {
+        "name": name,
+        "ph": "X",
+        "cat": "gef",
+        "ts": ts * 1e6,
+        "dur": dur * 1e6,
+        "pid": pid,
+        "tid": 1,
+        "args": {
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "trace_id": trace_id,
+        },
+    }
+
+
+def _merged_payload():
+    """A front-end lane owning the ``explain`` root + two worker lanes."""
+    events = [
+        # pid 1: explain root with stage children covering 96% of it
+        _event("explain", 1, 0.0, 10.0, 1),
+        _event("stage.fit_forest", 1, 0.0, 6.0, 2, parent_id=1),
+        _event("stage.fit_gam", 1, 6.0, 3.6, 3, parent_id=1),
+        # pid 4001: worker spans, parented into the pid-1 trace
+        _event("worker.predict", 4001, 0.1, 0.5, 4_000_001, parent_id=1),
+        _event("forest.predict", 4001, 0.2, 0.3, 4_000_002,
+               parent_id=4_000_001),
+        # pid 4002: a detached worker lane
+        _event("worker.predict", 4002, 0.0, 0.25, 5_000_001),
+    ]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class TestScopedCoverage:
+    def test_worker_lanes_do_not_dilute_the_gate(self):
+        payload = _merged_payload()
+        # stage spans cover 9.6 of the 10.0 root seconds: exactly 96%,
+        # which must clear the >=95% acceptance gate even though worker
+        # lanes add spans that belong to no stage.
+        assert trace_coverage(payload) == pytest.approx(0.96)
+
+    def test_stage_totals_scoped_to_root_lanes(self):
+        totals = stage_totals(_merged_payload())
+        assert set(totals) == {"stage.fit_forest", "stage.fit_gam"}
+        assert totals["stage.fit_forest"]["seconds"] == pytest.approx(6.0)
+
+    def test_rootless_trace_keeps_all_events(self):
+        payload = {
+            "traceEvents": [
+                _event("stage.fit_forest", 7, 0.0, 1.0, 1),
+            ]
+        }
+        assert stage_totals(payload)["stage.fit_forest"]["count"] == 1
+        assert trace_coverage(payload) == 0.0
+
+
+class TestPidBreakdown:
+    def test_one_entry_per_lane_sorted(self):
+        breakdown = pid_breakdown(_merged_payload())
+        assert list(breakdown) == [1, 4001, 4002]
+
+    def test_busy_counts_lane_roots_only(self):
+        breakdown = pid_breakdown(_merged_payload())
+        # pid 1: only the explain root (stages are its children)
+        assert breakdown[1]["busy_s"] == pytest.approx(10.0)
+        assert breakdown[1]["spans"] == 3
+        assert breakdown[1]["roots"] == 1
+        # pid 4001: worker.predict's parent (span 1) lives in ANOTHER
+        # lane, so it is a root of this lane; its own child is not.
+        assert breakdown[4001]["busy_s"] == pytest.approx(0.5)
+        assert breakdown[4001]["roots"] == 0
+        assert breakdown[4002]["busy_s"] == pytest.approx(0.25)
+
+    def test_single_lane_trace(self):
+        payload = {"traceEvents": [_event("explain", 1, 0.0, 2.0, 1)]}
+        assert pid_breakdown(payload) == {
+            1: {"spans": 1, "busy_s": 2.0, "roots": 1}
+        }
+
+
+class TestSummarizeTrace:
+    def test_multi_pid_trace_renders_lane_table(self):
+        text = summarize_trace(_merged_payload())
+        assert "per-process lanes:" in text
+        for pid in ("1", "4001", "4002"):
+            assert any(
+                line.strip().startswith(pid)
+                for line in text.splitlines()
+            )
+        assert "span coverage of end-to-end wall time: 96.0%" in text
+
+    def test_single_pid_trace_has_no_lane_table(self):
+        payload = {
+            "traceEvents": [
+                _event("explain", 1, 0.0, 1.0, 1),
+                _event("stage.fit_gam", 1, 0.0, 1.0, 2, parent_id=1),
+            ]
+        }
+        text = summarize_trace(payload)
+        assert "per-process lanes:" not in text
+        assert "100.0%" in text

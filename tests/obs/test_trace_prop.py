@@ -1,0 +1,156 @@
+"""Cross-process trace propagation: context, drain, merged Chrome lanes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (
+    Tracer,
+    current_context,
+    enable_tracing,
+    merge_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _clock(cell):
+    return lambda: cell[0]
+
+
+class TestTraceContext:
+    def test_root_span_mints_its_own_identity(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("root") as sp:
+            assert sp.parent_id is None
+            assert sp.trace_id == sp.span_id   # locally minted trace id
+
+    def test_adopted_context_reparents_root_spans(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.trace_context(777, 42):
+            with tracer.span("worker-root") as sp:
+                assert sp.trace_id == 777
+                assert sp.parent_id == 42
+                # children chain normally under the adopted root
+                with tracer.span("child") as child:
+                    assert child.parent_id == sp.span_id
+                    assert child.trace_id == 777
+
+    def test_context_restores_on_exit(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.trace_context(1, 10):
+            with tracer.trace_context(2, 20):
+                with tracer.span("inner") as sp:
+                    assert (sp.trace_id, sp.parent_id) == (2, 20)
+            with tracer.span("outer") as sp:
+                assert (sp.trace_id, sp.parent_id) == (1, 10)
+        with tracer.span("detached") as sp:
+            assert sp.trace_id == sp.span_id
+
+    def test_current_context_tracks_innermost_open_span(self):
+        tracer = enable_tracing(clock=lambda: 0.0)
+        assert current_context() is None            # nothing open
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                ctx = current_context()
+                assert ctx == {
+                    "trace_id": b.trace_id,
+                    "parent_span_id": b.span_id,
+                }
+            assert current_context()["parent_span_id"] == a.span_id
+        assert current_context() is None
+
+    def test_current_context_none_when_tracing_off(self):
+        assert current_context() is None
+
+
+class TestDrain:
+    def test_drain_ships_each_span_exactly_once(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("one"):
+            pass
+        first = tracer.drain()
+        assert [s["name"] for s in first] == ["one"]
+        assert tracer.drain() == []
+        with tracer.span("two"):
+            pass
+        assert [s["name"] for s in tracer.drain()] == ["two"]
+
+    def test_drain_leaves_open_spans_alone(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        sp = tracer.start("open")
+        assert tracer.drain() == []
+        tracer.finish(sp)
+        assert len(tracer.drain()) == 1
+
+
+class TestSpanIdBase:
+    def test_bases_keep_ids_disjoint_across_processes(self):
+        lanes = []
+        for pid in (100, 200):
+            tracer = Tracer(clock=lambda: 0.0, span_id_base=pid * 1_000_000)
+            with tracer.span("work"):
+                pass
+            lanes.append(tracer.drain())
+        ids = [s["span_id"] for lane in lanes for s in lane]
+        assert len(ids) == len(set(ids))
+        assert ids[0] == 100_000_001
+        assert ids[1] == 200_000_001
+
+
+class TestMergeChromeTrace:
+    def _lane(self, pid, epoch, t0, t1, clock_cell):
+        clock_cell[0] = epoch
+        tracer = Tracer(
+            clock=_clock(clock_cell), span_id_base=pid * 1_000_000
+        )
+        clock_cell[0] = t0
+        sp = tracer.start("work", pid_hint=pid)
+        clock_cell[0] = t1
+        tracer.finish(sp)
+        return {"pid": pid, **tracer.to_dict()}
+
+    def test_merged_trace_is_valid_with_one_lane_per_pid(self):
+        cell = [0.0]
+        # Deliberately incomparable epochs: worker clocks were advance()d
+        # differently, exactly the fleet situation.
+        front = self._lane(1, 100.0, 100.5, 100.6, cell)
+        w0 = self._lane(4001, 3.0, 3.25, 3.5, cell)
+        w1 = self._lane(4002, 9000.0, 9000.1, 9000.2, cell)
+        payload = merge_chrome_trace([w1, front, w0])
+        assert validate_chrome_trace(payload) == 3
+        events = payload["traceEvents"]
+        assert [e["pid"] for e in events] == [1, 4001, 4002]   # sorted lanes
+        by_pid = {e["pid"]: e for e in events}
+        # ts is relative to each lane's OWN epoch
+        assert by_pid[1]["ts"] == pytest.approx(0.5e6)
+        assert by_pid[4001]["ts"] == pytest.approx(0.25e6)
+        assert by_pid[4001]["dur"] == pytest.approx(0.25e6)
+        assert by_pid[4002]["ts"] == pytest.approx(0.1e6)
+
+    def test_extra_payload_rides_in_other_data(self):
+        payload = merge_chrome_trace([], extra={"metrics": {"x": 1}})
+        assert payload["otherData"] == {"metrics": {"x": 1}}
+        assert validate_chrome_trace(payload) == 0
+
+    def test_propagated_ids_survive_the_merge(self):
+        cell = [0.0]
+        front_tracer = Tracer(clock=_clock(cell))
+        root = front_tracer.start("predict")
+        ctx = {"trace_id": root.trace_id, "parent_span_id": root.span_id}
+        worker = Tracer(clock=_clock(cell), span_id_base=9_000_000)
+        with worker.trace_context(ctx["trace_id"], ctx["parent_span_id"]):
+            with worker.span("worker.predict"):
+                pass
+        front_tracer.finish(root)
+        payload = merge_chrome_trace(
+            [
+                {"pid": 1, **front_tracer.to_dict()},
+                {"pid": 2, "epoch_s": 0.0, "spans": worker.drain()},
+            ]
+        )
+        validate_chrome_trace(payload)
+        events = {e["name"]: e for e in payload["traceEvents"]}
+        assert (
+            events["worker.predict"]["args"]["parent_id"]
+            == events["predict"]["args"]["span_id"]
+        )

@@ -91,9 +91,10 @@ def _cmd_inspect(args) -> int:
 
 def _cmd_explain(args) -> int:
     from .core import GEF, explanation_report, save_explanation
-    from .forest import load_forest
+    from .forest import forest_fingerprint, load_forest
 
     forest = load_forest(args.model)
+    fingerprint = forest_fingerprint(forest)
     gef = GEF(
         n_univariate=args.splines,
         n_interactions=args.interactions,
@@ -145,14 +146,29 @@ def _cmd_explain(args) -> int:
             )
             return 2
     report = explanation_report(
-        explanation, instance=instance, top_components=args.top
+        explanation, instance=instance, top_components=args.top,
+        fingerprint=fingerprint,
     )
     if args.save:
         save_explanation(explanation, args.save)
         print(f"explanation archive written to {args.save}")
+    if args.ledger:
+        from .core.config import explain_config_hash
+        from .ledger import LedgerStore, record_model, record_surrogate
+
+        store = LedgerStore(args.ledger)
+        model_entry = record_model(store, forest)
+        surrogate_entry = record_surrogate(store, explanation, fingerprint)
+        print(
+            f"ledgered: model entry {model_entry.short_id}, surrogate "
+            f"entry {surrogate_entry.short_id} "
+            f"(fingerprint {fingerprint}, config "
+            f"{explain_config_hash(explanation.config)}) in {args.ledger}"
+        )
     if args.report:
         Path(args.report).write_text(report)
         print(f"fidelity R2 on D* = {explanation.fidelity['r2']:.4f}; "
+              f"forest fingerprint {fingerprint}; "
               f"report written to {args.report}")
     else:
         print(report)
@@ -187,10 +203,12 @@ def _cmd_serve(args) -> int:
                 fidelity_breach=args.slo_fidelity_breach,
                 p99_s=args.slo_p99_ms / 1e3,
                 error_budget=args.slo_error_budget,
+                breach_action=args.slo_breach_action,
             )
             if args.slo
             else None
         ),
+        ledger_path=args.ledger,
     )
     enable_metrics()
     if args.workers > 0:
@@ -256,6 +274,102 @@ def _cmd_serve(args) -> int:
             slo_stop.set()
         stop_server(drain=True)
     return 0
+
+
+def _cmd_ledger(args) -> int:
+    import json as _json
+
+    from .ledger import (
+        LedgerStore,
+        diff_entries,
+        forest_from_entry,
+        model_lineage,
+        previous_model_entry,
+        record_event,
+        render_diff,
+        render_verify,
+        verify_entry,
+    )
+
+    store = LedgerStore(args.path)
+    if args.action == "log":
+        if args.audit:
+            verified = store.audit()
+            print(f"audit ok: {verified} segment(s) verified")
+        entries = store.entries(kind=args.kind, key=args.key)
+        for entry in entries:
+            detail = ""
+            if entry.kind == "event":
+                detail = f" action={entry.payload.get('action')}"
+            elif entry.kind == "surrogate":
+                detail = f" config={entry.payload.get('config_hash')}"
+            print(
+                f"{entry.seq:6d}  {entry.short_id}  {entry.kind:<9s} "
+                f"{entry.key}{detail}"
+            )
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+        return 0
+    if args.action == "show":
+        entry = store.get(args.entry)
+        header = {
+            "seq": entry.seq,
+            "entry_id": entry.entry_id,
+            "kind": entry.kind,
+            "key": entry.key,
+            "parent": entry.parent,
+        }
+        if not args.payload:
+            # The full payload of a model/surrogate entry is the whole
+            # archive — megabytes; summarize unless asked.
+            header["payload_keys"] = sorted(entry.payload)
+            print(_json.dumps(header, indent=2))
+        else:
+            header["payload"] = entry.payload
+            print(_json.dumps(header, indent=2))
+        return 0
+    if args.action == "diff":
+        report = diff_entries(store.get(args.a), store.get(args.b))
+        if args.json:
+            print(_json.dumps(report, indent=2))
+        else:
+            print(render_diff(report))
+        return 0
+    if args.action == "verify":
+        report = verify_entry(store, args.entry)
+        print(render_verify(report))
+        return 0 if report["match"] else 1
+    if args.action == "rollback":
+        from .forest import save_forest
+
+        lineage = model_lineage(store, args.model)
+        if not lineage:
+            print(
+                f"error [ledger]: no ledgered lineage for model "
+                f"{args.model!r}",
+                file=sys.stderr,
+            )
+            return 1
+        current = lineage[-1]["fingerprint"]
+        target = previous_model_entry(store, args.model, current)
+        forest = forest_from_entry(target)
+        save_forest(forest, args.out)
+        record_event(
+            store,
+            "rollback",
+            key=args.model,
+            data={
+                "fingerprint": int(target.payload["fingerprint"]),
+                "from_fingerprint": current,
+                "model_entry": target.entry_id,
+                "via": "cli",
+            },
+        )
+        print(
+            f"rolled {args.model!r} back: fingerprint {current} -> "
+            f"{target.payload['fingerprint']}; forest written to {args.out}"
+        )
+        return 0
+    raise ValueError(f"unknown ledger action {args.action!r}")
 
 
 def _cmd_check(args) -> int:
@@ -332,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the report to this file instead of stdout")
     explain.add_argument("--save", default=None,
                          help="archive the fitted explanation to this JSON path")
+    explain.add_argument("--ledger", default=None, metavar="DIR",
+                         help="record the forest and the fitted surrogate in "
+                              "this ledger directory (audit with "
+                              "`repro ledger verify`)")
     explain.add_argument("--trace", default=None, metavar="TRACE_JSON",
                          help="record a pipeline trace and write it to this "
                               "path in Chrome trace-event format "
@@ -390,6 +508,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tolerated 5xx fraction per SLO tick")
     serve.add_argument("--slo-interval", type=float, default=5.0,
                        help="SLO evaluation interval in seconds")
+    serve.add_argument("--slo-breach-action", default="log",
+                       choices=("log", "invalidate"),
+                       help="action when a rule enters breach: log only, or "
+                            "additionally invalidate every cached surrogate")
+    serve.add_argument("--ledger", default=None, metavar="DIR",
+                       help="versioned ledger directory: write-through of "
+                            "models and surrogates, warm-surrogate restart, "
+                            "and the /models versions/rollback/diff endpoints")
     serve.add_argument("--splines", type=int, default=5,
                        help="|F'| for surrogate fits behind /explain")
     serve.add_argument("--interactions", type=int, default=0,
@@ -420,6 +546,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument("trace_file", help="trace JSON path")
     summarize.set_defaults(func=_cmd_trace)
+
+    ledger = sub.add_parser(
+        "ledger",
+        help="inspect, audit, diff, verify and roll back the versioned "
+             "model + explanation ledger",
+    )
+    ledger.add_argument("--path", required=True, metavar="DIR",
+                        help="ledger directory (as passed to serve/explain "
+                             "--ledger)")
+    ledger_sub = ledger.add_subparsers(dest="action", required=True)
+    ledger_log = ledger_sub.add_parser(
+        "log", help="list ledger entries in replay order"
+    )
+    ledger_log.add_argument("--kind", default=None,
+                            choices=("model", "surrogate", "event"))
+    ledger_log.add_argument("--key", default=None,
+                            help="filter by chain key (fingerprint, model id, "
+                                 "'slo', ...)")
+    ledger_log.add_argument("--audit", action="store_true",
+                            help="strictly re-verify every segment's content "
+                                 "address first")
+    ledger_log.set_defaults(func=_cmd_ledger)
+    ledger_show = ledger_sub.add_parser(
+        "show", help="print one entry (id or unique prefix)"
+    )
+    ledger_show.add_argument("entry")
+    ledger_show.add_argument("--payload", action="store_true",
+                             help="include the full payload (may be large)")
+    ledger_show.set_defaults(func=_cmd_ledger)
+    ledger_diff = ledger_sub.add_parser(
+        "diff", help="which splines/terms changed between two surrogates"
+    )
+    ledger_diff.add_argument("a", help="surrogate entry id (or prefix)")
+    ledger_diff.add_argument("b", help="surrogate entry id (or prefix)")
+    ledger_diff.add_argument("--json", action="store_true")
+    ledger_diff.set_defaults(func=_cmd_ledger)
+    ledger_verify = ledger_sub.add_parser(
+        "verify",
+        help="reproduce an entry from the ledger alone and compare "
+             "bit-for-bit (exit 1 on mismatch)",
+    )
+    ledger_verify.add_argument("entry")
+    ledger_verify.set_defaults(func=_cmd_ledger)
+    ledger_rollback = ledger_sub.add_parser(
+        "rollback",
+        help="write the previous ledgered version of a model to a file",
+    )
+    ledger_rollback.add_argument("model", help="model id (lineage chain key)")
+    ledger_rollback.add_argument("--out", required=True,
+                                 help="output forest JSON path")
+    ledger_rollback.set_defaults(func=_cmd_ledger)
 
     report = sub.add_parser(
         "report", help="render a report from a saved explanation archive"

@@ -5,6 +5,7 @@ from .config import (
     INTERACTION_STRATEGY_NAMES,
     SAMPLING_STRATEGY_NAMES,
     GEFConfig,
+    explain_config_hash,
     get_prediction_engine,
     set_prediction_engine,
 )
@@ -20,10 +21,13 @@ from .errors import (
 )
 from .explainer import GEF
 from .explanation_io import (
+    canonical_json,
+    explanation_digest,
     explanation_from_dict,
     explanation_to_dict,
     load_explanation,
     save_explanation,
+    strip_stage_timings,
 )
 from .explanation import (
     ComponentCurve,
@@ -125,10 +129,14 @@ __all__ = [
     "count_path_scores",
     "equi_size_domain",
     "equi_width_domain",
+    "canonical_json",
+    "explain_config_hash",
+    "explanation_digest",
     "explanation_from_dict",
     "explanation_to_dict",
     "load_explanation",
     "save_explanation",
+    "strip_stage_timings",
     "feature_thresholds",
     "forest_feature_gains",
     "forest_split_counts",

@@ -10,6 +10,9 @@ collected here.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,6 +23,7 @@ __all__ = [
     "GEFConfig",
     "INTERACTION_STRATEGY_NAMES",
     "SAMPLING_STRATEGY_NAMES",
+    "explain_config_hash",
     "get_numerics_mode",
     "get_prediction_engine",
     "set_numerics_mode",
@@ -50,6 +54,28 @@ def get_prediction_engine() -> str:
     from .. import forest
 
     return forest.get_prediction_engine()
+
+def explain_config_hash(config: "GEFConfig") -> str:
+    """A 16-hex-digit content hash of everything a GEF run depends on.
+
+    Two runs with equal hashes (on the same forest) produce bitwise
+    identical explanations, so the hash — together with the forest
+    fingerprint — is the cache/ledger key of a fitted surrogate.  The
+    hash covers every :class:`GEFConfig` field, canonically serialized
+    (sorted keys, ``lam_grid`` as a list).  A caller-owned
+    ``np.random.Generator`` as ``random_state`` is *not* reproducible
+    from the config alone; it hashes to an explicit non-reproducible
+    marker so such configs never collide with seeded ones.
+    """
+    data = dataclasses.asdict(config)
+    lam_grid = data.get("lam_grid")
+    if lam_grid is not None:
+        data["lam_grid"] = np.asarray(lam_grid).tolist()
+    if isinstance(data.get("random_state"), np.random.Generator):
+        data["random_state"] = "<generator:non-reproducible>"
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
 
 SAMPLING_STRATEGY_NAMES = (
     "all-thresholds",

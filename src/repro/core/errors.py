@@ -16,15 +16,19 @@ Taxonomy::
     ├── FitDivergenceError      PIRLS/GCV diverged or went singular
     ├── StageTimeoutError       a stage exceeded its wall-clock budget
     ├── StageFailureError       untyped crash wrapped at a stage boundary
-    └── ServeError              serving-layer failure (repro.serve)
-        ├── BadRequestError     malformed request payload (HTTP 400)
-        ├── ModelNotFoundError  unknown model id / path (HTTP 404)
-        ├── ShedError           admission control rejected the request
-        │                       (HTTP 429: queue depth / inflight limit)
-        ├── WorkerCrashError    a fleet worker process died mid-request
-        │                       and no replica could absorb it (HTTP 503)
-        └── FleetDegradedError  the worker fleet is below quorum or its
-                                restart circuit breaker is open (HTTP 503)
+    ├── ServeError              serving-layer failure (repro.serve)
+    │   ├── BadRequestError     malformed request payload (HTTP 400)
+    │   ├── ModelNotFoundError  unknown model id / path (HTTP 404)
+    │   ├── ShedError           admission control rejected the request
+    │   │                       (HTTP 429: queue depth / inflight limit)
+    │   ├── WorkerCrashError    a fleet worker process died mid-request
+    │   │                       and no replica could absorb it (HTTP 503)
+    │   └── FleetDegradedError  the worker fleet is below quorum or its
+    │                           restart circuit breaker is open (HTTP 503)
+    └── LedgerError             versioned model/explanation ledger failure
+        ├── LedgerCorruptionError    a segment's content hash does not
+        │                            match its recorded entry id
+        └── LedgerEntryNotFoundError unknown entry id / key (HTTP 404)
 
 Errors that replace historical ``ValueError``s keep ``ValueError`` as a
 secondary base, so ``except ValueError`` call sites (and tests) written
@@ -49,6 +53,9 @@ __all__ = [
     "ShedError",
     "WorkerCrashError",
     "FleetDegradedError",
+    "LedgerError",
+    "LedgerCorruptionError",
+    "LedgerEntryNotFoundError",
 ]
 
 
@@ -163,3 +170,33 @@ class FleetDegradedError(ServeError):
     is attempted against a closed/degraded fleet; the front-end degrades
     to single-process in-proc serving where possible.  Maps to HTTP 503.
     """
+
+
+class LedgerError(ReproError):
+    """Base class of ``repro.ledger`` failures.
+
+    Covers append/replay I/O faults, malformed entry payloads handed to
+    the record builders, and rollback targets that cannot be
+    materialized.  Serving maps it (and any subclass without its own
+    entry) onto HTTP 500.
+    """
+
+    def __init__(self, message: str = "", stage: str | None = None):
+        super().__init__(message, stage=stage or "ledger")
+
+
+class LedgerCorruptionError(LedgerError):
+    """A ledger segment's content hash does not match its entry id.
+
+    The content-addressing audit (``LedgerStore.audit`` and the CLI's
+    ``repro ledger log --audit``) raises this when a committed segment
+    was tampered with or bit-rotted; ordinary replay *skips* unreadable
+    segments (crash leftovers) instead of raising.
+    """
+
+
+class LedgerEntryNotFoundError(LedgerError, KeyError):
+    """No ledger entry matches the requested id or key (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that.
+        return self.args[0] if self.args else ""

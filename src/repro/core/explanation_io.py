@@ -11,6 +11,7 @@ synthetic dataset.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 
@@ -22,12 +23,61 @@ from .dataset import ExplanationDataset
 from .explanation import GEFExplanation
 from .stages import StageReport
 
-__all__ = ["explanation_to_dict", "explanation_from_dict",
-           "save_explanation", "load_explanation"]
+__all__ = ["canonical_json", "explanation_to_dict", "explanation_from_dict",
+           "explanation_digest", "save_explanation", "load_explanation",
+           "strip_stage_timings"]
 
 #: Row caps for the embedded D* sample (keeps archives small).
 _TRAIN_SAMPLE_ROWS = 2048
 _TEST_SAMPLE_ROWS = 1024
+
+#: Archive keys that carry wall-clock provenance rather than explanation
+#: content: replaying the same config on the same forest reproduces
+#: everything *except* these, so audit comparisons strip them first.
+_VOLATILE_KEYS = frozenset({"elapsed", "duration_s", "span_id"})
+
+
+def canonical_json(data) -> str:
+    """The canonical JSON form used for content addressing.
+
+    Sorted keys, no whitespace — two structurally equal payloads always
+    serialize to the same bytes, so hashes over this form are stable
+    across processes and Python versions (float repr is exact since 3.1).
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def strip_stage_timings(data):
+    """A deep copy of ``data`` with volatile timing keys removed.
+
+    Stage reports record wall-clock durations and span ids; those are
+    provenance of one particular run, not of the explanation, and can
+    never reproduce bit-for-bit.  Everything else — statuses, fallbacks,
+    retry outcomes — is deterministic and is kept.
+    """
+    if isinstance(data, dict):
+        return {
+            key: strip_stage_timings(value)
+            for key, value in data.items()
+            if key not in _VOLATILE_KEYS
+        }
+    if isinstance(data, list):
+        return [strip_stage_timings(item) for item in data]
+    return data
+
+
+def explanation_digest(data: dict | GEFExplanation) -> str:
+    """A content hash of an explanation archive, timing excluded.
+
+    Accepts either a fitted explanation or its
+    :func:`explanation_to_dict` archive.  Two GEF runs with the same
+    config on the same forest yield equal digests; the ledger's verify
+    path asserts exactly this.
+    """
+    if isinstance(data, GEFExplanation):
+        data = explanation_to_dict(data)
+    payload = canonical_json(strip_stage_timings(data))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def explanation_to_dict(explanation: GEFExplanation) -> dict:

@@ -63,6 +63,7 @@ def explanation_report(
     instance: np.ndarray | None = None,
     n_points: int = 60,
     top_components: int | None = None,
+    fingerprint: int | None = None,
 ) -> str:
     """Render a full plain-text report for a GEF explanation.
 
@@ -76,11 +77,21 @@ def explanation_report(
         Grid resolution of the component curves.
     top_components:
         Limit the global section to the most important components.
+    fingerprint:
+        Structural fingerprint of the explained forest; when given, the
+        provenance line cites the full ledger coordinate (fingerprint +
+        explain-config hash) that identifies this explanation.
     """
+    from .config import explain_config_hash
+
+    provenance = f"explain-config hash {explain_config_hash(explanation.config)}"
+    if fingerprint is not None:
+        provenance = f"forest fingerprint {fingerprint}; " + provenance
     lines = [
         "GEF EXPLANATION REPORT",
         "=" * 72,
         explanation.summary(),
+        f"provenance: {provenance}",
     ]
 
     diagnostics = diagnose(

@@ -51,13 +51,16 @@ ALLOWED_DEPS: dict[str, frozenset[str]] = {
     "viz": frozenset(
         {"_rng", "_ascii", "obs", "metrics", "core", "gam", "forest"}
     ),
+    "ledger": frozenset(
+        {"_rng", "_ascii", "obs", "metrics", "core", "gam", "forest"}
+    ),
     "serve": frozenset(
         {"_rng", "_ascii", "obs", "metrics", "core", "gam", "forest",
-         "cluster", "datasets", "xai"}
+         "cluster", "datasets", "xai", "ledger"}
     ),
     "devtools": frozenset(
         {"_rng", "_ascii", "obs", "metrics", "core", "gam", "forest",
-         "cluster", "datasets", "xai", "viz", "serve"}
+         "cluster", "datasets", "xai", "viz", "ledger", "serve"}
     ),
 }
 

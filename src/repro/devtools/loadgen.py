@@ -40,6 +40,7 @@ __all__ = [
     "bench_serve",
     "fleet_obs_smoke",
     "main",
+    "rollback_smoke",
     "run_load",
     "validate_bench_serve",
 ]
@@ -727,6 +728,117 @@ def fleet_obs_smoke(
     return report
 
 
+def rollback_smoke(
+    *,
+    workers: int = 0,
+    clients: int = 8,
+    requests_per_client: int = 30,
+    rows_per_request: int = 4,
+    n_trees: int = 40,
+    n_features: int = 8,
+    seed: int = 0,
+    ledger_dir=None,
+) -> dict:
+    """Rollback-under-traffic acceptance smoke: lost=0, bitwise v1.
+
+    Registers v1, hot-swaps to v2, then — at a deterministic mid-load
+    point of the closed-loop predict stream — POSTs
+    ``/models/bench/rollback`` so the ledger rebuilds v1 and re-registers
+    it through the hot-swap path while clients keep hammering
+    ``/predict``.  Asserts the whole load completed with zero lost
+    requests and that post-rollback responses are bitwise identical to
+    v1's own ``predict_raw``.  ``workers > 0`` runs the same scenario
+    against a fleet, where the swap is the unlink-while-mapped
+    shared-memory dance.  Returns a JSON-ready cell with a ``passed``
+    verdict.
+    """
+    import tempfile
+
+    from ..serve import FleetApp, FleetConfig, ServeApp, ServeConfig
+
+    v1 = _train_bench_forest(n_trees, n_features, seed + 101)
+    v2 = _train_bench_forest(n_trees + 10, n_features, seed + 202)
+    had_metrics = obs_metrics.get_metrics() is not None
+    if not had_metrics:
+        obs_metrics.enable_metrics()
+    tmp = None
+    if ledger_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-ledger-smoke-")
+        ledger_dir = tmp.name
+    rollback_result: dict = {}
+    try:
+        config = ServeConfig(
+            max_batch=2 * clients,
+            batch_delay_s=0.001,
+            queue_limit=max(256, 4 * clients * requests_per_client),
+            ledger_path=ledger_dir,
+        )
+        if workers > 0:
+            app = FleetApp(
+                config, FleetConfig(workers=workers, replication=workers)
+            )
+        else:
+            app = ServeApp(config)
+        app.add_model("bench", v1)
+        app.add_model("bench", v2)
+        if workers > 0:
+            app.start_fleet()
+        try:
+
+            def fire_rollback():
+                response = app.handle("POST", "/models/bench/rollback", b"")
+                rollback_result["status"] = response.status
+                if response.status == 200:
+                    rollback_result.update(response.json())
+
+            cell = run_load(
+                app,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                rows_per_request=rows_per_request,
+                seed=seed,
+                mid_load=fire_rollback,
+            )
+            entry = app.registry.get("bench")
+            rng = np.random.default_rng([seed, 991])
+            rows = rng.standard_normal((8, n_features))
+            probe = app.handle(
+                "POST",
+                "/predict",
+                json.dumps({"model": "bench", "rows": rows.tolist()}).encode(
+                    "utf-8"
+                ),
+            )
+            identical = (
+                probe.status == 200
+                and probe.json()["predictions"] == v1.predict_raw(rows).tolist()
+            )
+        finally:
+            app.close(drain=True)
+    finally:
+        if not had_metrics:
+            obs_metrics.disable_metrics()
+        if tmp is not None:
+            tmp.cleanup()
+    from ..forest import forest_fingerprint
+
+    cell["name"] = "rollback_under_load"
+    cell["workers"] = workers
+    cell["rollback_status"] = rollback_result.get("status")
+    cell["fingerprint_restored"] = entry.fingerprint == forest_fingerprint(v1)
+    cell["identical"] = identical
+    cell["lost"] = cell["errors"]
+    # "ok" is the answered-request count; the verdict gets its own key.
+    cell["passed"] = (
+        cell["rollback_status"] == 200
+        and cell["lost"] == 0
+        and cell["ok"] + cell["shed"] == cell["requests"]
+        and cell["fingerprint_restored"]
+        and cell["identical"]
+    )
+    return cell
+
+
 def main(argv: list[str] | None = None) -> int:
     """CI smoke: run the serve benchmark, write and validate the artifact."""
     import argparse
@@ -750,6 +862,13 @@ def main(argv: list[str] | None = None) -> int:
         help="add the kill-a-worker-mid-load failover cell",
     )
     parser.add_argument(
+        "--rollback-smoke",
+        action="store_true",
+        help="run the ledger rollback-under-load smoke (lost=0, bitwise "
+        "v1 responses) instead of the benchmark; --fleet-workers N runs "
+        "it against a fleet",
+    )
+    parser.add_argument(
         "--obs-smoke",
         type=int,
         default=0,
@@ -760,6 +879,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
     args = parser.parse_args(argv)
+
+    if args.rollback_smoke:
+        fleet_workers = tuple(
+            int(w) for w in args.fleet_workers.split(",") if w.strip()
+        )
+        cell = rollback_smoke(
+            workers=fleet_workers[0] if fleet_workers else 0,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            rows_per_request=args.rows,
+            n_trees=args.trees,
+        )
+        print(json.dumps(cell, indent=2))
+        if not cell["passed"]:
+            print("FAIL rollback-under-load smoke")
+            return 1
+        print(
+            f"ok: rollback under load (workers={cell['workers']}) answered "
+            f"{cell['ok']}/{cell['requests']} with lost={cell['lost']}, "
+            f"responses bitwise identical to the rolled-back version"
+        )
+        return 0
 
     if args.obs_smoke:
         report = fleet_obs_smoke(

@@ -256,6 +256,13 @@ _ENTRIES = (
         rationale="monotonic suffix for segment names; incremented under "
         "the lock so two concurrent exports never mint the same name",
     ),
+    # repro.ledger — the append-only store's write-side schema table.
+    GlobalEntry(
+        module="repro.ledger.store", name="REQUIRED_PAYLOAD_KEYS",
+        discipline="frozen-after-import",
+        rationale="kind -> required payload keys table consulted per "
+        "append, built by one dict display",
+    ),
     # The analysis layer's own architecture table.
     GlobalEntry(
         module="repro.devtools.analysis.layering", name="ALLOWED_DEPS",

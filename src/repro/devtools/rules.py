@@ -449,6 +449,10 @@ class RaiseOutsideTaxonomyRule(LintRule):
             "repro.core.validate",
             "repro.forest.bitvector",
             "repro.forest.engines",
+            "repro.ledger.diff",
+            "repro.ledger.records",
+            "repro.ledger.store",
+            "repro.ledger.verify",
             "repro.obs.drift",
             "repro.obs.slo",
             "repro.serve.admission",
@@ -507,6 +511,7 @@ class AdhocTimingRule(LintRule):
         "repro.core.",
         "repro.gam.",
         "repro.forest.",
+        "repro.ledger.",
         "repro.obs.drift",
         "repro.obs.metrics",
         "repro.obs.profile",

@@ -1,0 +1,416 @@
+"""The append-only, content-addressed ledger store.
+
+Every mutation of the serving estate — a model registered, a surrogate
+fitted, a hot swap, a rollback, an SLO transition — becomes one
+immutable :class:`LedgerEntry` with a deterministic id: the SHA-256 of
+the entry's canonical JSON body (kind, key, parent, payload).  Entries
+of the same ``(kind, key)`` form a hash chain through their ``parent``
+field, so the full version history of a forest fingerprint (or of a
+model id's lifecycle) is a verifiable linked list, and appending the
+same content twice on the same chain deduplicates into one entry.
+
+Crash-safety model (crash-only, like the fleet):
+
+* **One segment file per entry.**  A segment is written to a temp file
+  in the segments directory, fsynced, and moved into place with
+  ``os.replace`` — a reader (or a recovery replay) observes either the
+  complete entry or nothing, never a torn JSON.
+* **The index is derived state.**  Nothing depends on an index file
+  surviving a crash: :meth:`LedgerStore.refresh` rebuilds the in-memory
+  index by replaying the segment directory, skipping unreadable
+  leftovers (counted in ``ledger.replay.skipped``) and verifying each
+  entry's content address against its recorded id.
+* **Concurrent appenders never corrupt.**  Two processes (fleet
+  workers, a CLI, the front end) appending concurrently each write
+  their own segment file; a sequence-number tie is broken
+  deterministically by entry id, so every replayer reconstructs the
+  same total order.  Duplicate content lands in one logical entry
+  (first segment wins on replay).
+
+Stdlib-only; ``obs`` supplies counters and spans (``ledger.*``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+from bisect import insort
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+
+from ..core.errors import (
+    LedgerCorruptionError,
+    LedgerEntryNotFoundError,
+    LedgerError,
+)
+from ..core.explanation_io import canonical_json
+from ..obs.metrics import inc as metric_inc
+from ..obs.trace import span as obs_span
+
+__all__ = [
+    "ENTRY_KINDS",
+    "LedgerEntry",
+    "LedgerStore",
+    "REQUIRED_PAYLOAD_KEYS",
+    "SCHEMA_VERSION",
+    "entry_id_for",
+]
+
+#: Ledger entry schema version, recorded in (and hashed into) every entry.
+SCHEMA_VERSION = 1
+
+#: The three entry kinds of the versioned serving estate.
+ENTRY_KINDS = ("model", "surrogate", "event")
+
+#: Per-kind payload keys an entry must carry to be appendable — the
+#: write-side schema check that keeps replayers simple.  Registered
+#: frozen-after-import in the thread-safety registry.
+REQUIRED_PAYLOAD_KEYS: dict[str, tuple[str, ...]] = {
+    "model": ("fingerprint", "model"),
+    "surrogate": ("fingerprint", "config_hash", "explanation"),
+    "event": ("action", "at_s"),
+}
+
+#: Committed segment filenames: zero-padded sequence + entry-id prefix.
+_SEGMENT_RE = re.compile(r"^(\d{8})-([0-9a-f]{16})\.json$")
+
+
+def entry_id_for(kind: str, key: str, payload: dict, parent: str | None) -> str:
+    """The deterministic content address of an entry body.
+
+    SHA-256 over the canonical JSON of ``(schema, kind, key, parent,
+    payload)`` — the sequence number is *excluded*, so the id is a pure
+    function of content and chain position, computable before (and
+    independent of) the append.
+    """
+    body = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "key": key,
+        "parent": parent,
+        "payload": payload,
+    }
+    return sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One immutable ledger entry (see the module docstring).
+
+    ``seq`` is the replay order (assigned at append, ties broken by
+    ``entry_id``); everything else is covered by the content address.
+    """
+
+    seq: int
+    entry_id: str
+    kind: str
+    key: str
+    parent: str | None
+    payload: dict
+
+    def to_dict(self) -> dict:
+        """The segment-file representation (JSON-ready)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "seq": self.seq,
+            "entry_id": self.entry_id,
+            "kind": self.kind,
+            "key": self.key,
+            "parent": self.parent,
+            "payload": self.payload,
+        }
+
+    @property
+    def short_id(self) -> str:
+        """The 16-hex-digit prefix used in filenames and CLI output."""
+        return self.entry_id[:16]
+
+
+class LedgerStore:
+    """Append-only content-addressed store over one segments directory.
+
+    All in-memory index state lives behind one instance lock; entries
+    are immutable snapshots, so readers hold no lock after lookup.
+    Multiple stores (across threads or processes) may point at the same
+    directory; :meth:`refresh` folds other writers' segments in.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._segments = self.root / "segments"
+        try:
+            self._segments.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise LedgerError(
+                f"cannot create ledger at {self.root}: {exc}"
+            ) from exc
+        self._lock = threading.Lock()
+        self._by_id: dict[str, LedgerEntry] = {}
+        self._order: list[tuple[int, str]] = []  # sorted (seq, entry_id)
+        self._heads: dict[tuple[str, str], LedgerEntry] = {}
+        self._seen_files: set[str] = set()
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def refresh(self) -> int:
+        """Fold unseen committed segments into the index; returns count.
+
+        Unreadable or schema-violating files (torn crash leftovers,
+        foreign junk) are skipped and counted — recovery must replay a
+        clean index from whatever survived, never refuse to start.
+        Segments whose content hash does not match their recorded entry
+        id are skipped too (``ledger.replay.corrupt``); :meth:`audit`
+        turns those into hard errors.
+        """
+        with obs_span("ledger.replay"), self._lock:
+            loaded = 0
+            for name in sorted(os.listdir(self._segments)):
+                if name in self._seen_files:
+                    continue
+                match = _SEGMENT_RE.match(name)
+                if match is None:
+                    continue  # temp files and junk are invisible to replay
+                self._seen_files.add(name)
+                entry = self._load_segment(name)
+                if entry is None:
+                    continue
+                if entry.entry_id in self._by_id:
+                    metric_inc("ledger.replay.dedup")
+                    continue
+                self._insert_locked(entry)
+                loaded += 1
+            if loaded:
+                metric_inc("ledger.replay.entries", loaded)
+            return loaded
+
+    def _load_segment(self, name: str) -> LedgerEntry | None:
+        """Parse one segment file; ``None`` (plus a metric) when unusable."""
+        path = self._segments / name
+        try:
+            with path.open("r", encoding="utf-8") as f:
+                data = json.load(f)
+            entry = LedgerEntry(
+                seq=int(data["seq"]),
+                entry_id=str(data["entry_id"]),
+                kind=str(data["kind"]),
+                key=str(data["key"]),
+                parent=data.get("parent"),
+                payload=data["payload"],
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            metric_inc("ledger.replay.skipped")
+            return None
+        if (
+            entry.kind not in ENTRY_KINDS
+            or entry_id_for(entry.kind, entry.key, entry.payload, entry.parent)
+            != entry.entry_id
+        ):
+            metric_inc("ledger.replay.corrupt")
+            return None
+        return entry
+
+    def _insert_locked(self, entry: LedgerEntry) -> None:
+        self._by_id[entry.entry_id] = entry
+        insort(self._order, (entry.seq, entry.entry_id))
+        chain = (entry.kind, entry.key)
+        head = self._heads.get(chain)
+        if head is None or (entry.seq, entry.entry_id) > (head.seq, head.entry_id):
+            self._heads[chain] = entry
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        kind: str,
+        key: str,
+        payload: dict,
+        parent: str | None = None,
+    ) -> LedgerEntry:
+        """Append one entry; returns it (or the existing duplicate).
+
+        ``parent`` defaults to the current head of the ``(kind, key)``
+        chain.  Appending content identical to an existing entry (same
+        body, same parent) is idempotent: the existing entry is returned
+        and nothing is written (``ledger.append.dedup``).
+        """
+        if kind not in ENTRY_KINDS:
+            raise LedgerError(
+                f"unknown ledger entry kind {kind!r}; choose from {ENTRY_KINDS}"
+            )
+        key = str(key)
+        if not key:
+            raise LedgerError("ledger entry key must be non-empty")
+        required = REQUIRED_PAYLOAD_KEYS[kind]
+        missing = [k for k in required if k not in payload]
+        if missing:
+            raise LedgerError(
+                f"{kind} entry payload is missing required keys {missing} "
+                f"(required: {list(required)})"
+            )
+        with obs_span("ledger.append", kind=kind), self._lock:
+            self._refresh_locked_best_effort()
+            if parent is None:
+                head = self._heads.get((kind, key))
+                parent = head.entry_id if head is not None else None
+            try:
+                entry_id = entry_id_for(kind, key, payload, parent)
+            except (TypeError, ValueError) as exc:
+                raise LedgerError(
+                    f"{kind} entry payload is not JSON-serializable: {exc}"
+                ) from exc
+            existing = self._by_id.get(entry_id)
+            if existing is not None:
+                metric_inc("ledger.append.dedup")
+                return existing
+            seq = self._order[-1][0] + 1 if self._order else 1
+            entry = LedgerEntry(
+                seq=seq,
+                entry_id=entry_id,
+                kind=kind,
+                key=key,
+                parent=parent,
+                payload=payload,
+            )
+            self._write_segment(entry)
+            self._seen_files.add(f"{seq:08d}-{entry_id[:16]}.json")
+            self._insert_locked(entry)
+            metric_inc("ledger.appends")
+            return entry
+
+    def _refresh_locked_best_effort(self) -> None:
+        """Fold in other writers' segments; never fails an append."""
+        try:
+            for name in sorted(os.listdir(self._segments)):
+                if name in self._seen_files or _SEGMENT_RE.match(name) is None:
+                    continue
+                self._seen_files.add(name)
+                entry = self._load_segment(name)
+                if entry is not None and entry.entry_id not in self._by_id:
+                    self._insert_locked(entry)
+        except OSError:  # pragma: no cover - directory raced away
+            pass
+
+    def _write_segment(self, entry: LedgerEntry) -> None:
+        """Atomically commit one segment file (tempfile + ``os.replace``)."""
+        final = self._segments / f"{entry.seq:08d}-{entry.short_id}.json"
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self._segments, prefix=".seg.", suffix=".tmp"
+            )
+        except OSError as exc:
+            raise LedgerError(f"cannot stage ledger segment: {exc}") from exc
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(canonical_json(entry.to_dict()))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_name, final)
+        except (OSError, TypeError, ValueError) as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise LedgerError(
+                f"cannot commit ledger segment {final.name}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_id)
+
+    def get(self, ref: str) -> LedgerEntry:
+        """The entry for a full id or an unambiguous prefix (>= 6 chars)."""
+        ref = str(ref)
+        with self._lock:
+            exact = self._by_id.get(ref)
+            if exact is not None:
+                return exact
+            if len(ref) >= 6:
+                matches = [
+                    e for eid, e in self._by_id.items() if eid.startswith(ref)
+                ]
+                if len(matches) == 1:
+                    return matches[0]
+                if len(matches) > 1:
+                    raise LedgerError(
+                        f"ledger entry prefix {ref!r} is ambiguous "
+                        f"({len(matches)} matches)"
+                    )
+        raise LedgerEntryNotFoundError(f"no ledger entry matches {ref!r}")
+
+    def entries(
+        self, kind: str | None = None, key: str | None = None
+    ) -> list[LedgerEntry]:
+        """Entries in replay order, optionally filtered by kind and key."""
+        with self._lock:
+            ordered = [self._by_id[eid] for _, eid in self._order]
+        if kind is not None:
+            ordered = [e for e in ordered if e.kind == kind]
+        if key is not None:
+            key = str(key)
+            ordered = [e for e in ordered if e.key == key]
+        return ordered
+
+    def head(self, kind: str, key: str) -> LedgerEntry | None:
+        """The newest entry of the ``(kind, key)`` chain, or ``None``."""
+        with self._lock:
+            return self._heads.get((kind, str(key)))
+
+    def chain(self, kind: str, key: str) -> list[LedgerEntry]:
+        """The parent-linked history of ``(kind, key)``, oldest first."""
+        out: list[LedgerEntry] = []
+        entry = self.head(kind, key)
+        with self._lock:
+            while entry is not None:
+                out.append(entry)
+                entry = (
+                    self._by_id.get(entry.parent)
+                    if entry.parent is not None
+                    else None
+                )
+        return list(reversed(out))
+
+    # ------------------------------------------------------------------
+    # audit
+    # ------------------------------------------------------------------
+    def audit(self) -> int:
+        """Strictly re-verify every committed segment from disk.
+
+        Re-reads each segment file and recomputes its content address;
+        any unreadable or hash-mismatched segment raises
+        :class:`LedgerCorruptionError` (replay merely skips them).
+        Returns the number of verified entries.
+        """
+        verified = 0
+        for name in sorted(os.listdir(self._segments)):
+            if _SEGMENT_RE.match(name) is None:
+                continue
+            path = self._segments / name
+            try:
+                with path.open("r", encoding="utf-8") as f:
+                    data = json.load(f)
+                recomputed = entry_id_for(
+                    data["kind"], data["key"], data["payload"], data.get("parent")
+                )
+                recorded = data["entry_id"]
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                raise LedgerCorruptionError(
+                    f"ledger segment {name} is unreadable: {exc}"
+                ) from exc
+            if recomputed != recorded:
+                raise LedgerCorruptionError(
+                    f"ledger segment {name}: content hash {recomputed[:16]} "
+                    f"does not match recorded entry id {recorded[:16]}"
+                )
+            verified += 1
+        return verified

@@ -92,7 +92,15 @@ class SloRule:
 
 @dataclass(frozen=True)
 class SloConfig:
-    """Rules plus hysteresis and drift-monitor sizing."""
+    """Rules plus hysteresis, drift-monitor sizing and the breach action.
+
+    ``breach_action`` selects what the owner of the engine does when a
+    rule *enters* breach: ``"log"`` (default — transition log + metrics
+    only) or ``"invalidate"`` (additionally drop every cached surrogate,
+    forcing fresh fits; the serve layer also ledgers the action).  The
+    engine itself stays pure bookkeeping — the action runs in the
+    ``on_transition`` hook its owner installs.
+    """
 
     rules: tuple = ()
     recover_after: int = 2
@@ -100,10 +108,16 @@ class SloConfig:
     drift_capacity: int = 256
     drift_seed: int = 0
     drift_min_samples: int = 16
+    breach_action: str = "log"
 
     def __post_init__(self) -> None:
         if self.recover_after < 1:
             raise ValueError("recover_after must be >= 1")  # repro: allow(raise-outside-taxonomy) config-time misuse, not a request failure
+        if self.breach_action not in ("log", "invalidate"):
+            raise ValueError(  # repro: allow(raise-outside-taxonomy) config-time misuse, not a request failure
+                f"breach_action must be log|invalidate, got "
+                f"{self.breach_action!r}"
+            )
 
 
 def default_slo_config(
@@ -153,11 +167,19 @@ class _RuleState:
 
 
 class SloEngine:
-    """Evaluate rules with hysteresis; keep a bounded transition log."""
+    """Evaluate rules with hysteresis; keep a bounded transition log.
 
-    def __init__(self, config: SloConfig, clock=None):
+    ``on_transition`` is an optional ``on_transition(transition_dict)``
+    hook fired once per state change, *after* the engine lock is
+    released (so the hook may call back into anything, including the
+    engine).  A hook failure is counted in ``slo.action_errors`` and
+    never poisons the evaluation.
+    """
+
+    def __init__(self, config: SloConfig, clock=None, on_transition=None):
         self.config = config
         self._clock = clock if clock is not None else _trace.monotonic
+        self._on_transition = on_transition
         self._lock = threading.Lock()
         self._states = {rule.name: _RuleState() for rule in config.rules}
         self._transitions: deque = deque(maxlen=config.transition_log)
@@ -172,6 +194,7 @@ class SloEngine:
         ``recover_after`` consecutive evaluations at a better level.
         """
         now = self._clock()
+        fired: list[dict] = []
         with self._lock:
             self._evaluations += 1
             for rule in self.config.rules:
@@ -184,36 +207,46 @@ class SloEngine:
                 cur_i = LEVELS.index(state.level)
                 raw_i = LEVELS.index(raw)
                 if raw_i > cur_i:
-                    self._shift(rule, state, raw, now, reason="escalated")
+                    fired.append(
+                        self._shift(rule, state, raw, now, reason="escalated")
+                    )
                 elif raw_i < cur_i:
                     state.better_streak += 1
                     if state.better_streak >= self.config.recover_after:
                         reason = (
                             "recovered" if raw == "ok" else "de-escalated"
                         )
-                        self._shift(rule, state, raw, now, reason=reason)
+                        fired.append(
+                            self._shift(rule, state, raw, now, reason=reason)
+                        )
                 else:
                     state.better_streak = 0
             overall = self._overall_locked()
             _metrics.set_gauge("slo.level", float(LEVELS.index(overall)))
             _metrics.inc("slo.evaluations")
-            return overall
+        if self._on_transition is not None:
+            for transition in fired:
+                try:
+                    self._on_transition(dict(transition))
+                except Exception:  # repro: allow(broad-except) a breach-action hook must never poison the SLO tick
+                    _metrics.inc("slo.action_errors")
+        return overall
 
-    def _shift(self, rule, state, level, now, *, reason) -> None:
-        self._transitions.append(
-            {
-                "rule": rule.name,
-                "from": state.level,
-                "to": level,
-                "value": state.last_value,
-                "reason": reason,
-                "at_s": round(now, 6),
-            }
-        )
+    def _shift(self, rule, state, level, now, *, reason) -> dict:
+        transition = {
+            "rule": rule.name,
+            "from": state.level,
+            "to": level,
+            "value": state.last_value,
+            "reason": reason,
+            "at_s": round(now, 6),
+        }
+        self._transitions.append(transition)
         state.level = level
         state.better_streak = 0
         state.since_s = now
         _metrics.inc(f"slo.transitions.{level}")
+        return transition
 
     def _overall_locked(self) -> str:
         worst = 0

@@ -17,8 +17,19 @@ Endpoints::
                         -> cheap predictions from the cached GAM surrogate
     POST /models        {"id": ..., "path": ...}       hot add / hot swap
     DELETE /models/<id>                                 hot remove
+    GET  /models/<id>/versions                          ledgered lineage
+    POST /models/<id>/rollback  {"to": entry?}          hot-swap rollback
+    GET  /models/diff?a=<entry>&b=<entry>               surrogate diff
     GET  /healthz       liveness + registered models
     GET  /metrics       Prometheus text exposition of repro.obs metrics
+
+The three versioning endpoints need a ledger
+(``ServeConfig.ledger_path``): every registration and fitted surrogate
+is then written through to the append-only content-addressed store, a
+restart rehydrates warm surrogates from it, and a rollback rebuilds the
+previous forest from the ledger and re-registers it through the normal
+hot-swap path — under a fleet that is the unlink-while-mapped shared
+memory swap, so traffic is served continuously throughout.
 
 Typed errors map onto HTTP statuses at this boundary: ``ShedError`` 429,
 ``BadRequestError`` 400, ``ModelNotFoundError`` 404,
@@ -32,15 +43,20 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import parse_qs
 
 import numpy as np
 
-from ..core.config import GEFConfig
+from ..core.config import GEFConfig, explain_config_hash
 from ..core.errors import (
     BadRequestError,
     FitDivergenceError,
     FleetDegradedError,
     ForestValidationError,
+    LedgerCorruptionError,
+    LedgerEntryNotFoundError,
+    LedgerError,
     ModelNotFoundError,
     ReproError,
     SamplingError,
@@ -60,6 +76,18 @@ from ..obs.metrics import (
 )
 from ..obs.slo import SloConfig, SloEngine, quantile_from_histogram
 from ..obs.trace import monotonic, span as obs_span
+from ..ledger import (
+    LedgerStore,
+    diff_entries,
+    explanation_from_entry,
+    forest_from_entry,
+    latest_surrogate,
+    model_lineage,
+    previous_model_entry,
+    record_event,
+    record_model,
+    record_surrogate,
+)
 from .admission import AdmissionController, Deadline
 from .batcher import MicroBatcher
 from .registry import ModelEntry, ModelRegistry
@@ -90,6 +118,9 @@ ERROR_STATUS: dict[type, tuple[int, str | None]] = {
     SelectionError: (500, None),
     FitDivergenceError: (500, None),
     StageFailureError: (500, None),
+    LedgerEntryNotFoundError: (404, "ledger-entry-not-found"),
+    LedgerCorruptionError: (500, None),
+    LedgerError: (500, None),
     ServeError: (500, None),
     ReproError: (500, None),
 }
@@ -138,6 +169,10 @@ class ServeConfig:
     #: Enables the SLO engine + fidelity drift monitor when set (see
     #: :func:`repro.obs.slo.default_slo_config`).
     slo: SloConfig | None = None
+    #: Enables the versioned ledger when set: write-through of models and
+    #: surrogates, warm-surrogate rehydration on restart, and the
+    #: versions/rollback/diff endpoints.
+    ledger_path: str | Path | None = None
 
 
 class ServeApp:
@@ -145,9 +180,17 @@ class ServeApp:
 
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
-        self.registry = ModelRegistry()
+        ledgered = self.config.ledger_path is not None
+        self.ledger: LedgerStore | None = (
+            LedgerStore(self.config.ledger_path) if ledgered else None
+        )
+        self.registry = ModelRegistry(
+            on_register=self._ledger_on_register if ledgered else None
+        )
         self.surrogates = SurrogateCache(
-            self._fit_surrogate, capacity=self.config.surrogate_capacity
+            self._fit_surrogate,
+            capacity=self.config.surrogate_capacity,
+            on_fit=self._ledger_on_fit if ledgered else None,
         )
         self.admission = AdmissionController(self.config.max_inflight)
         self._lock = threading.Lock()
@@ -155,7 +198,9 @@ class ServeApp:
         self._started_s = monotonic()
         self._closed = False
         if self.config.slo is not None:
-            self.slo: SloEngine | None = SloEngine(self.config.slo)
+            self.slo: SloEngine | None = SloEngine(
+                self.config.slo, on_transition=self._on_slo_transition
+            )
             self.drift: DriftMonitor | None = DriftMonitor(
                 capacity=self.config.slo.drift_capacity,
                 seed=self.config.slo.drift_seed,
@@ -176,6 +221,94 @@ class ServeApp:
         from ..core.explainer import GEF
 
         return GEF(self.config.gef).explain(model)
+
+    # ------------------------------------------------------------------
+    # ledger write-through + rehydration (config.ledger_path)
+    # ------------------------------------------------------------------
+    def _ledger_on_register(self, entry: ModelEntry, old: ModelEntry | None):
+        """Registry hook: ledger the forest + a lifecycle event, then
+        rehydrate a warm surrogate recorded by an earlier process.
+
+        Write-through failures are availability-neutral: the swap already
+        happened, so a full disk degrades audit coverage (counted in
+        ``ledger.write_errors``), never serving.
+        """
+        try:
+            with obs_span("ledger.write_through", kind="model"):
+                model_entry = record_model(self.ledger, entry.model)
+                if old is None:
+                    action = "register"
+                elif old.fingerprint != entry.fingerprint:
+                    action = "hot-swap"
+                else:
+                    action = "reload"
+                record_event(
+                    self.ledger,
+                    action,
+                    key=entry.model_id,
+                    data={
+                        "fingerprint": entry.fingerprint,
+                        "from_fingerprint": (
+                            old.fingerprint if old is not None else None
+                        ),
+                        "model_entry": model_entry.entry_id,
+                    },
+                )
+        except LedgerError:
+            metric_inc("ledger.write_errors")
+        if not self.surrogates.cached(entry.fingerprint):
+            try:
+                recorded = latest_surrogate(
+                    self.ledger,
+                    entry.fingerprint,
+                    explain_config_hash(self.config.gef),
+                )
+                if recorded is not None and self.surrogates.seed(
+                    entry.fingerprint, explanation_from_entry(recorded)
+                ):
+                    metric_inc("ledger.rehydrations")
+            except (LedgerError, KeyError, TypeError, ValueError):
+                # A stale or foreign archive must never block a swap; the
+                # cache simply stays cold and the next explain refits.
+                metric_inc("ledger.rehydration_errors")
+
+    def _ledger_on_fit(self, fingerprint: int, explanation) -> None:
+        """Surrogate-cache hook: ledger every successful fit."""
+        try:
+            with obs_span("ledger.write_through", kind="surrogate"):
+                record_surrogate(self.ledger, explanation, fingerprint)
+        except LedgerError:
+            metric_inc("ledger.write_errors")
+
+    def _on_slo_transition(self, transition: dict) -> None:
+        """The pluggable SLO breach action (``SloConfig.breach_action``).
+
+        Always ledgers the transition (when a ledger is configured);
+        ``breach_action="invalidate"`` additionally drops every cached
+        surrogate on entry into breach, forcing fresh fits — the
+        recovery lever for fidelity-drift breaches.
+        """
+        metric_inc("slo.actions")
+        if self.ledger is not None:
+            try:
+                record_event(
+                    self.ledger, "slo-transition", key="slo",
+                    data=dict(transition),
+                )
+            except LedgerError:
+                metric_inc("ledger.write_errors")
+        entered_breach = transition.get("to") == "breach"
+        if entered_breach and self.config.slo.breach_action == "invalidate":
+            self.surrogates.clear()
+            metric_inc("slo.invalidations")
+            if self.ledger is not None:
+                try:
+                    record_event(
+                        self.ledger, "surrogate-invalidated", key="slo",
+                        data={"rule": transition.get("rule")},
+                    )
+                except LedgerError:
+                    metric_inc("ledger.write_errors")
 
     def add_model(self, model_id: str, source) -> ModelEntry:
         """Register (or hot-swap) a model and give it a micro-batcher."""
@@ -360,6 +493,13 @@ class ServeApp:
                 return self._explain(body, deadline)
             if method == "POST" and path == "/models":
                 return self._models_add(body)
+            if method == "POST" and path.startswith("/models/") and (
+                path.endswith("/rollback")
+            ):
+                model_id = path[len("/models/"):-len("/rollback")]
+                return self._models_rollback(model_id, body)
+            if method == "GET" and path.startswith("/models/"):
+                return self._models_get(path)
             if method == "DELETE" and path.startswith("/models/"):
                 return self._models_remove(path[len("/models/"):])
             return _json_response(
@@ -392,6 +532,11 @@ class ServeApp:
             slo_block = self.slo.view()
             slo_block["drift"] = self.drift.last()
             payload["slo"] = slo_block
+        if self.ledger is not None:
+            payload["ledger"] = {
+                "path": str(self.ledger.root),
+                "entries": len(self.ledger),
+            }
         return _json_response(200, payload)
 
     def _predict(self, body, deadline: Deadline) -> Response:
@@ -502,9 +647,11 @@ class ServeApp:
         entry = self._entry_for(payload)
         explanation = self._surrogate_for(entry, deadline)
         report = explanation.stage_report
+        config_hash = explain_config_hash(explanation.config)
         result = {
             "model": entry.model_id,
             "fingerprint": entry.fingerprint,
+            "config_hash": config_hash,
             "fidelity": dict(explanation.fidelity),
             "features": [
                 explanation.feature_label(f) for f in explanation.features
@@ -513,6 +660,13 @@ class ServeApp:
             "degraded": bool(report is not None and report.degraded),
             "fallbacks": list(report.fallbacks) if report is not None else [],
         }
+        if self.ledger is not None:
+            recorded = latest_surrogate(
+                self.ledger, entry.fingerprint, config_hash
+            )
+            result["ledger_entry"] = (
+                recorded.entry_id if recorded is not None else None
+            )
         instance = payload.get("instance")
         if instance is not None:
             x = np.asarray(instance, dtype=np.float64).ravel()
@@ -570,3 +724,131 @@ class ServeApp:
         return _json_response(
             200, {"removed": entry.model_id, "models": self.registry.ids()}
         )
+
+    # ------------------------------------------------------------------
+    # versioning endpoints (config.ledger_path)
+    # ------------------------------------------------------------------
+    def _require_ledger(self) -> LedgerStore:
+        if self.ledger is None:
+            raise BadRequestError(
+                "model versioning needs a ledger; start the server with a "
+                "ledger path (repro serve --ledger DIR)"
+            )
+        return self.ledger
+
+    def _models_get(self, path: str) -> Response:
+        """Route ``GET /models/...``: the diff and versions endpoints."""
+        route, _, query = path.partition("?")
+        if route == "/models/diff":
+            return self._models_diff(parse_qs(query))
+        parts = route.strip("/").split("/")
+        if len(parts) == 3 and parts[2] == "versions":
+            return self._models_versions(parts[1])
+        return _json_response(
+            404, {"error": f"no endpoint GET {path}", "kind": "route"}
+        )
+
+    def _models_versions(self, model_id: str) -> Response:
+        ledger = self._require_ledger()
+        ledger.refresh()  # fold in other processes' appends
+        entry = self.registry.get(model_id)
+        versions = model_lineage(ledger, entry.model_id)
+        surrogates = {}
+        for version in versions:
+            fingerprint = version["fingerprint"]
+            surrogates[str(fingerprint)] = [
+                {
+                    "entry": e.entry_id,
+                    "config_hash": e.payload.get("config_hash"),
+                }
+                for e in ledger.entries(kind="surrogate")
+                if int(e.payload.get("fingerprint", -1)) == fingerprint
+            ]
+        return _json_response(
+            200,
+            {
+                "model": entry.model_id,
+                "fingerprint": entry.fingerprint,
+                "versions": versions,
+                "surrogates": surrogates,
+            },
+        )
+
+    def _models_rollback(self, model_id: str, body) -> Response:
+        """Roll a served model back to a ledgered version, under traffic.
+
+        The target forest is rebuilt from the ledger (``"to"`` names a
+        model entry id; default: the newest version whose fingerprint
+        differs from the current one) and re-registered through
+        :meth:`add_model` — exactly the hot-swap path, so a fleet swaps
+        shared-memory segments with the unlink-while-mapped dance and
+        never drops a request.
+        """
+        ledger = self._require_ledger()
+        ledger.refresh()
+        entry = self.registry.get(model_id)
+        payload = self._parse_json(body) if body else {}
+        to_ref = payload.get("to")
+        if to_ref is not None:
+            model_entry = ledger.get(str(to_ref))
+            if model_entry.kind != "model":
+                raise BadRequestError(
+                    f'"to" must name a model entry; {model_entry.short_id} '
+                    f"is a {model_entry.kind} entry"
+                )
+        else:
+            model_entry = previous_model_entry(
+                ledger, entry.model_id, entry.fingerprint
+            )
+        forest = forest_from_entry(model_entry)
+        with obs_span(
+            "ledger.rollback", model=entry.model_id,
+            to=int(model_entry.payload["fingerprint"]),
+        ):
+            new_entry = self.add_model(entry.model_id, forest)
+        try:
+            record_event(
+                ledger,
+                "rollback",
+                key=new_entry.model_id,
+                data={
+                    "fingerprint": new_entry.fingerprint,
+                    "from_fingerprint": entry.fingerprint,
+                    "model_entry": model_entry.entry_id,
+                },
+            )
+        except LedgerError:
+            metric_inc("ledger.write_errors")
+        metric_inc("ledger.rollbacks")
+        return _json_response(
+            200,
+            {
+                "model": new_entry.model_id,
+                "fingerprint": new_entry.fingerprint,
+                "from_fingerprint": entry.fingerprint,
+                "model_entry": model_entry.entry_id,
+                "surrogate_cached": self.surrogates.cached(
+                    new_entry.fingerprint
+                ),
+            },
+        )
+
+    def _models_diff(self, params: dict) -> Response:
+        ledger = self._require_ledger()
+        ledger.refresh()
+        refs = {}
+        for side in ("a", "b"):
+            values = params.get(side) or []
+            if len(values) != 1 or not values[0]:
+                raise BadRequestError(
+                    "diff needs exactly one ?a= and one ?b= surrogate "
+                    "entry id"
+                )
+            refs[side] = values[0]
+        a = ledger.get(refs["a"])
+        b = ledger.get(refs["b"])
+        try:
+            report = diff_entries(a, b)
+        except LedgerError as exc:
+            raise BadRequestError(str(exc)) from exc
+        return _json_response(200, report)

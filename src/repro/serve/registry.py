@@ -65,11 +65,18 @@ class ModelEntry:
 
 
 class ModelRegistry:
-    """Thread-safe map of model id -> :class:`ModelEntry` with hot add/remove."""
+    """Thread-safe map of model id -> :class:`ModelEntry` with hot add/remove.
 
-    def __init__(self):
+    ``on_register`` is an optional ``on_register(entry, old_entry)`` hook
+    invoked after every :meth:`add` (old_entry is ``None`` on first
+    registration, the replaced entry on a hot swap), outside the registry
+    lock — the ledger's model write-through point.
+    """
+
+    def __init__(self, on_register=None):
         self._lock = threading.Lock()
         self._entries: dict[str, ModelEntry] = {}
+        self._on_register = on_register
 
     def _build_entry(self, model_id: str, source) -> ModelEntry:
         path = None
@@ -101,7 +108,10 @@ class ModelRegistry:
         """
         entry = self._build_entry(str(model_id), source)
         with self._lock:
+            old = self._entries.get(entry.model_id)
             self._entries[entry.model_id] = entry
+        if self._on_register is not None:
+            self._on_register(entry, old)
         return entry
 
     def add_entry(self, entry: ModelEntry) -> ModelEntry:

@@ -54,12 +54,18 @@ class SurrogateCache:
     capacity:
         Maximum number of cached explanations; the least recently used
         entry is evicted beyond that.
+    on_fit:
+        Optional ``on_fit(fingerprint, explanation)`` hook invoked after
+        each *successful* leader fit, outside the cache lock — the
+        ledger's write-through point.  Hook failures propagate to the
+        fitting request (the owner decides whether to swallow them).
     """
 
-    def __init__(self, fit_fn, capacity: int = 4):
+    def __init__(self, fit_fn, capacity: int = 4, on_fit=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")  # repro: allow(raise-outside-taxonomy) harness misuse, not a request failure
         self._fit_fn = fit_fn
+        self._on_fit = on_fit
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._entries: OrderedDict[int, object] = OrderedDict()
@@ -150,7 +156,28 @@ class SurrogateCache:
                         self._entries.popitem(last=False)
                         metric_inc("surrogate.evictions")
             flight.event.set()
+        if self._on_fit is not None:
+            self._on_fit(fingerprint, explanation)
         return explanation
+
+    def seed(self, fingerprint: int, explanation) -> bool:
+        """Pre-populate the cache without fitting (ledger rehydration).
+
+        Inserts ``explanation`` as if it had just been fitted — subject
+        to capacity eviction, counted in ``surrogate.rehydrated`` — and
+        returns whether it was inserted.  A fingerprint already cached
+        (or mid-flight) is left alone: live state wins over history.
+        """
+        with self._lock:
+            if fingerprint in self._entries or fingerprint in self._flights:
+                return False
+            self._entries[fingerprint] = explanation
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                metric_inc("surrogate.evictions")
+        metric_inc("surrogate.rehydrated")
+        return True
 
     # ------------------------------------------------------------------
     # maintenance

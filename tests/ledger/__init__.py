@@ -1,0 +1,1 @@
+"""Tests of the versioned model + explanation ledger."""

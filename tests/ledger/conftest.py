@@ -1,0 +1,53 @@
+"""Ledger test fixtures: one small forest + one fast fitted explanation.
+
+The surrogate fixtures are session-scoped because a GEF fit is the
+expensive part; every test that mutates state gets its own ledger
+directory via ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GEF, GEFConfig
+from repro.forest import GradientBoostingRegressor
+
+GEF_SMALL = dict(n_univariate=3, n_samples=800, k_points=8, n_splines=6,
+                 random_state=0)
+
+
+def _train(n_estimators: int, seed: int):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(400, 5))
+    y = X[:, 0] * 2 + np.sin(2 * X[:, 1]) + 0.1 * rng.normal(size=400)
+    model = GradientBoostingRegressor(
+        n_estimators=n_estimators, num_leaves=8, learning_rate=0.2,
+        random_state=seed,
+    )
+    model.fit(X, y)
+    return model
+
+
+@pytest.fixture(scope="session")
+def ledger_forest():
+    """The v1 forest every ledger test records."""
+    return _train(8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def ledger_forest_v2():
+    """A structurally different forest (hot-swap / rollback target)."""
+    return _train(12, seed=2)
+
+
+@pytest.fixture(scope="session")
+def ledger_explanation(ledger_forest):
+    """A fast fitted GEF explanation of ``ledger_forest``."""
+    return GEF(GEFConfig(**GEF_SMALL)).explain(ledger_forest)
+
+
+@pytest.fixture(scope="session")
+def ledger_explanation_v2(ledger_forest_v2):
+    """A fitted explanation of the v2 forest (same config)."""
+    return GEF(GEFConfig(**GEF_SMALL)).explain(ledger_forest_v2)

@@ -1,0 +1,238 @@
+"""The raw store: content addressing, chains, replay, crash safety.
+
+Zero sleeps: concurrency is exercised with barriers and thread joins,
+crash scenarios by planting torn/corrupt segment files directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.core.errors import (
+    LedgerCorruptionError,
+    LedgerEntryNotFoundError,
+    LedgerError,
+)
+from repro.ledger import LedgerStore, entry_id_for
+
+
+def _event(n: int) -> dict:
+    return {"action": "tick", "at_s": float(n), "n": n}
+
+
+def test_append_assigns_content_address(tmp_path):
+    store = LedgerStore(tmp_path)
+    entry = store.append("event", "chain", _event(1))
+    assert entry.entry_id == entry_id_for("event", "chain", _event(1), None)
+    assert entry.seq == 1
+    assert entry.parent is None
+
+
+def test_chain_parents_link_and_heads_advance(tmp_path):
+    store = LedgerStore(tmp_path)
+    first = store.append("event", "chain", _event(1))
+    second = store.append("event", "chain", _event(2))
+    assert second.parent == first.entry_id
+    assert store.head("event", "chain").entry_id == second.entry_id
+    chain = store.chain("event", "chain")
+    assert [e.entry_id for e in chain] == [first.entry_id, second.entry_id]
+
+
+def test_identical_append_deduplicates(tmp_path):
+    store = LedgerStore(tmp_path)
+    first = store.append("event", "chain", _event(1))
+    second = store.append("event", "chain", _event(2))
+    # Same content at the same chain position is idempotent...
+    again = store.append("event", "chain", _event(2), parent=first.entry_id)
+    assert again.entry_id == second.entry_id
+    assert len(store) == 2
+    # ...but the same content *re-appended at the head* is a new entry:
+    # event chains must record repeated actions, not swallow them.
+    repeat = store.append("event", "chain", _event(2))
+    assert repeat.entry_id != second.entry_id
+    assert len(store) == 3
+
+
+def test_distinct_chains_are_independent(tmp_path):
+    store = LedgerStore(tmp_path)
+    a = store.append("event", "a", _event(1))
+    b = store.append("event", "b", _event(1))
+    assert a.parent is None and b.parent is None
+    assert a.entry_id != b.entry_id  # key is hashed into the id
+
+
+def test_replay_rebuilds_identical_index(tmp_path):
+    store = LedgerStore(tmp_path)
+    for n in range(5):
+        store.append("event", f"chain{n % 2}", _event(n))
+    replayed = LedgerStore(tmp_path)
+    assert len(replayed) == 5
+    assert [e.entry_id for e in replayed.entries()] == [
+        e.entry_id for e in store.entries()
+    ]
+    assert replayed.head("event", "chain0").entry_id == (
+        store.head("event", "chain0").entry_id
+    )
+
+
+def test_get_accepts_unique_prefix_and_rejects_unknown(tmp_path):
+    store = LedgerStore(tmp_path)
+    entry = store.append("event", "chain", _event(1))
+    assert store.get(entry.entry_id[:8]).entry_id == entry.entry_id
+    with pytest.raises(LedgerEntryNotFoundError):
+        store.get("0" * 16)
+    with pytest.raises(LedgerEntryNotFoundError):
+        store.get("abc")  # too short to be a prefix
+
+
+def test_append_validates_kind_key_and_payload(tmp_path):
+    store = LedgerStore(tmp_path)
+    with pytest.raises(LedgerError):
+        store.append("nope", "k", _event(1))
+    with pytest.raises(LedgerError):
+        store.append("event", "", _event(1))
+    with pytest.raises(LedgerError):
+        store.append("event", "k", {"missing": "required keys"})
+    with pytest.raises(LedgerError):
+        store.append("model", "k", {"fingerprint": 1})  # no "model"
+
+
+def test_unserializable_payload_does_not_corrupt(tmp_path):
+    store = LedgerStore(tmp_path)
+    with pytest.raises(LedgerError):
+        store.append("event", "k", {"action": "x", "at_s": 0.0, "bad": object()})
+    # The failed append left no committed segment behind.
+    assert len(LedgerStore(tmp_path)) == 0
+
+
+# ----------------------------------------------------------------------
+# crash safety
+# ----------------------------------------------------------------------
+def test_torn_segment_is_skipped_on_replay(tmp_path):
+    store = LedgerStore(tmp_path)
+    keep = store.append("event", "chain", _event(1))
+    # A crash mid-write can only leave a *temp* file (os.replace is
+    # atomic), but simulate the worst case: a torn file that somehow
+    # matches the committed naming convention.
+    torn = tmp_path / "segments" / f"{2:08d}-{'ab' * 8}.json"
+    torn.write_text('{"seq": 2, "entry_id": "truncat')
+    recovered = LedgerStore(tmp_path)
+    assert len(recovered) == 1
+    assert recovered.get(keep.entry_id).payload == keep.payload
+    # ...and appending continues cleanly past the junk.
+    recovered.append("event", "chain", _event(2))
+    assert len(LedgerStore(tmp_path)) == 2
+
+
+def test_leftover_tempfile_is_invisible(tmp_path):
+    store = LedgerStore(tmp_path)
+    store.append("event", "chain", _event(1))
+    (tmp_path / "segments" / ".seg.crashed.tmp").write_text("{garbage")
+    assert len(LedgerStore(tmp_path)) == 1
+
+
+def test_hash_mismatch_is_skipped_on_replay_but_fails_audit(tmp_path):
+    store = LedgerStore(tmp_path)
+    entry = store.append("event", "chain", _event(1))
+    name = f"{entry.seq:08d}-{entry.entry_id[:16]}.json"
+    path = tmp_path / "segments" / name
+    data = json.loads(path.read_text())
+    data["payload"]["n"] = 999  # tamper without recomputing the id
+    path.write_text(json.dumps(data))
+    recovered = LedgerStore(tmp_path)
+    assert len(recovered) == 0  # replay refuses the tampered entry
+    with pytest.raises(LedgerCorruptionError):
+        recovered.audit()
+
+
+def test_audit_ok_on_clean_store(tmp_path):
+    store = LedgerStore(tmp_path)
+    for n in range(3):
+        store.append("event", "chain", _event(n))
+    assert store.audit() == 3
+
+
+def test_concurrent_appends_serialize_without_corruption(tmp_path):
+    store = LedgerStore(tmp_path)
+    n_threads, per_thread = 8, 10
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        try:
+            for n in range(per_thread):
+                store.append("event", f"chain{i}", _event(n))
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert not errors
+    assert len(store) == n_threads * per_thread
+    # Every replayer reconstructs the same total order and passes audit.
+    replayed = LedgerStore(tmp_path)
+    assert replayed.audit() == n_threads * per_thread
+    assert [e.entry_id for e in replayed.entries()] == [
+        e.entry_id for e in store.entries()
+    ]
+    for i in range(n_threads):
+        chain = replayed.chain("event", f"chain{i}")
+        assert [e.payload["n"] for e in chain] == list(range(per_thread))
+
+
+def test_two_stores_same_directory_converge(tmp_path):
+    a = LedgerStore(tmp_path)
+    b = LedgerStore(tmp_path)
+    ea = a.append("event", "x", _event(1))
+    # b has not seen a's entry yet; its next append folds it in first.
+    eb = b.append("event", "x", _event(2))
+    assert eb.parent == ea.entry_id
+    assert eb.seq > ea.seq
+    a.refresh()
+    assert [e.entry_id for e in a.entries()] == [
+        e.entry_id for e in b.entries()
+    ]
+
+
+def test_replay_order_breaks_seq_ties_by_entry_id(tmp_path):
+    store = LedgerStore(tmp_path)
+    e1 = store.append("event", "x", _event(1))
+    # Plant a colliding-seq segment (another process that raced the same
+    # sequence number); both must survive replay in a deterministic order.
+    body_kwargs = dict(kind="event", key="y", payload=_event(9), parent=None)
+    other_id = entry_id_for(
+        body_kwargs["kind"], body_kwargs["key"], body_kwargs["payload"], None
+    )
+    record = {
+        "schema": 1,
+        "seq": e1.seq,
+        "entry_id": other_id,
+        **body_kwargs,
+    }
+    path = tmp_path / "segments" / f"{e1.seq:08d}-{other_id[:16]}.json"
+    path.write_text(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    replayed = LedgerStore(tmp_path)
+    assert len(replayed) == 2
+    expected = sorted([e1.entry_id, other_id])
+    got = [e.entry_id for e in replayed.entries()]
+    assert got == expected
+    # A second replayer agrees bit for bit.
+    assert [e.entry_id for e in LedgerStore(tmp_path).entries()] == expected
+
+
+def test_foreign_junk_files_are_ignored(tmp_path):
+    store = LedgerStore(tmp_path)
+    store.append("event", "x", _event(1))
+    (tmp_path / "segments" / "README.txt").write_text("not a segment")
+    os.mkdir(tmp_path / "segments" / "subdir")
+    assert len(LedgerStore(tmp_path)) == 1
